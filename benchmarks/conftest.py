@@ -1,0 +1,58 @@
+"""Shared fixtures for the figure-reproduction benchmark suite.
+
+Every benchmark runs the emulations behind one table or figure of the
+paper, prints the regenerated rows/series, writes them under ``results/``,
+and asserts the *shape* facts the paper reports (who wins, by roughly what
+factor, where the extremes sit). Absolute numbers differ from the paper —
+the mobility trace and e-mail workload are synthetic stand-ins — but the
+orderings are the reproduction target (see EXPERIMENTS.md).
+
+Scale: benchmarks default to ``REPRO_SCALE=0.5`` (half-size scenario, a
+few seconds per figure). Set ``REPRO_SCALE=1.0`` for the paper-size
+scenario (35 buses, 17 days, 490 messages; a few minutes total).
+
+Emulation runs are cached process-wide, so figures sharing a sweep (5/6,
+7/8) pay for it once, exactly as in the paper's experimental design.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import configured_scale
+from repro.experiments.figures import SharedScenarioInputs
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return configured_scale()
+
+
+@pytest.fixture(scope="session")
+def inputs(scale) -> SharedScenarioInputs:
+    return SharedScenarioInputs.at_scale(scale)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a regenerated table/figure and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    def _report(name: str, text: str) -> None:
+        emit(results_dir, name, text)
+
+    return _report

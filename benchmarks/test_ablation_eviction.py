@@ -1,0 +1,59 @@
+"""Ablation: relay-buffer eviction strategies under the Figure 10 cap.
+
+The paper uses FIFO; this sweep re-runs the storage-constrained scenario
+with random and oldest-created eviction to show how much the victim rule
+matters at a 2-message relay buffer.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_series_table
+from repro.experiments.runner import run_experiment
+
+HOURS = 3600.0
+STRATEGIES = ("fifo", "random", "oldest-created")
+
+
+def test_ablation_eviction_strategies(benchmark, inputs, report):
+    def sweep():
+        rows = {}
+        for strategy in STRATEGIES:
+            config = replace(
+                ExperimentConfig(
+                    scale=inputs.scale, policy="epidemic", storage_limit=2
+                ),
+                eviction_strategy=strategy,
+            )
+            result = run_experiment(
+                config, trace=inputs.trace, model=inputs.model
+            )
+            rows[strategy] = result.metrics
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    series = {
+        strategy: [
+            (12.0, 100.0 * metrics.fraction_delivered_within(12 * HOURS)),
+            (24.0, 100.0 * metrics.fraction_delivered_within(24 * HOURS)),
+        ]
+        for strategy, metrics in rows.items()
+    }
+    report(
+        "ablation_eviction",
+        render_series_table(
+            "Ablation: epidemic under 2-message relay cap, by eviction rule "
+            "(% delivered within N hours)",
+            "hours",
+            series,
+        ),
+    )
+
+    for strategy, metrics in rows.items():
+        # Every rule keeps the buffer legal and the system delivering.
+        assert metrics.delivered > 0
+        assert metrics.evictions > 0
+    # The rules genuinely differ in what they drop (traffic mixes differ),
+    # even when headline delivery lands close together.
+    transmissions = {s: rows[s].transmissions for s in STRATEGIES}
+    assert len(set(transmissions.values())) > 1

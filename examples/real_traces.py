@@ -1,0 +1,72 @@
+"""Using real trace data instead of the synthetic generators.
+
+The paper drives its emulation with the CRAWDAD DieselNet encounter trace
+and the Enron e-mail corpus. This example shows the drop-in path for real
+data: write/read the plain-text encounter interchange format and the
+``sender,recipient`` CSV, then run an experiment on the loaded inputs.
+
+(Here the "real" files are themselves produced from the generators so the
+example is self-contained; point the paths at genuine exports to
+reproduce on real data.)
+
+Run:  python examples/real_traces.py
+"""
+
+import io
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.traces import (
+    DieselNetConfig,
+    generate_dieselnet_trace,
+    generate_enron_model,
+    load_trace,
+    parse_pairs_csv,
+    save_trace,
+)
+
+
+def export_sample_files() -> tuple[str, str]:
+    """Produce sample files in both interchange formats."""
+    trace = generate_dieselnet_trace(DieselNetConfig(scale=0.4, seed=11))
+    trace_buffer = io.StringIO()
+    save_trace(trace, trace_buffer)
+
+    model = generate_enron_model(n_users=40, seed=2)
+    import random
+
+    rng = random.Random(3)
+    lines = ["sender,recipient"]
+    for _ in range(300):
+        sender, recipient = model.draw_pair(rng)
+        lines.append(f"{sender},{recipient}")
+    return trace_buffer.getvalue(), "\n".join(lines)
+
+
+def main() -> None:
+    trace_text, email_csv = export_sample_files()
+    print("encounter file preview:")
+    print("\n".join(trace_text.splitlines()[:4]))
+    print("\nemail csv preview:")
+    print("\n".join(email_csv.splitlines()[:4]))
+
+    # ---- the actual drop-in path -------------------------------------
+    trace = load_trace(io.StringIO(trace_text))
+    model = parse_pairs_csv(io.StringIO(email_csv))
+    print(
+        f"\nloaded {len(trace)} encounters between {len(trace.hosts)} hosts;"
+        f" {len(model.users)} e-mail users"
+    )
+
+    config = ExperimentConfig(scale=0.4, policy="spray")
+    result = run_experiment(config, trace=trace, model=model)
+    metrics = result.metrics
+    print(
+        f"\nspray-and-wait on the loaded data: "
+        f"{metrics.delivered}/{metrics.injected} delivered, "
+        f"mean delay {metrics.mean_delay_hours():.1f} h, "
+        f"{metrics.transmissions} transmissions"
+    )
+
+
+if __name__ == "__main__":
+    main()

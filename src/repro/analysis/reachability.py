@@ -1,0 +1,86 @@
+"""Temporal reachability over encounter traces.
+
+A message can reach its destination only along a *time-respecting
+journey*: a sequence of encounters with non-decreasing timestamps
+starting at (or after) the injection. Epidemic flooding with unlimited
+resources delivers along the *foremost* such journey, so:
+
+* the set of deliverable messages equals the temporally reachable set;
+* each message's minimum possible delay is its foremost-arrival time.
+
+This module computes both, giving experiments an *oracle*: undelivered
+messages can be classified as "undeliverable on this trace" vs "missed by
+the policy", and any policy's delays can be compared against the optimum
+(unconstrained Epidemic should match it exactly — asserted in the
+integration tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.emulation.encounters import EncounterTrace
+
+
+def foremost_arrival_times(
+    trace: EncounterTrace, source: str, start_time: float
+) -> Dict[str, float]:
+    """Earliest time each host can hold data originating at ``source``.
+
+    Standard single-source foremost-journey computation: sweep encounters
+    in time order; when hosts ``a`` and ``b`` meet at ``t``, anyone who
+    had the data strictly before-or-at ``t`` passes it to the other.
+    ``source`` holds the data from ``start_time``. Returns only hosts the
+    data can reach (always including the source itself).
+    """
+    arrival: Dict[str, float] = {source: start_time}
+    for encounter in trace:
+        if encounter.time < start_time:
+            continue
+        a_time = arrival.get(encounter.a)
+        b_time = arrival.get(encounter.b)
+        if a_time is not None and a_time <= encounter.time:
+            if b_time is None or encounter.time < b_time:
+                arrival[encounter.b] = encounter.time
+        if b_time is not None and b_time <= encounter.time:
+            if a_time is None or encounter.time < a_time:
+                arrival[encounter.a] = encounter.time
+    return arrival
+
+
+def earliest_delivery_time(
+    trace: EncounterTrace, source: str, destination: str, start_time: float
+) -> Optional[float]:
+    """The optimal (foremost) delivery time, or None if unreachable.
+
+    This is the delay lower bound any routing policy is measured against.
+    """
+    if source == destination:
+        return start_time
+    return foremost_arrival_times(trace, source, start_time).get(destination)
+
+
+def reachable(
+    trace: EncounterTrace, source: str, destination: str, start_time: float
+) -> bool:
+    """True iff a time-respecting journey exists."""
+    return earliest_delivery_time(trace, source, destination, start_time) is not None
+
+
+def delivery_oracle(
+    trace: EncounterTrace,
+    injections,
+) -> Dict[int, Optional[float]]:
+    """Foremost delivery times for a whole injection schedule.
+
+    ``injections`` is any sequence with ``time``/``source``/``destination``
+    attributes (e.g. :class:`repro.emulation.network.Injection` whose
+    addresses name hosts directly). Returns index → optimal delivery time
+    (None = undeliverable on this trace).
+    """
+    results: Dict[int, Optional[float]] = {}
+    for index, injection in enumerate(injections):
+        results[index] = earliest_delivery_time(
+            trace, injection.source, injection.destination, injection.time
+        )
+    return results

@@ -1,0 +1,74 @@
+"""Small statistics helpers used by experiments and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; NaN for an empty sequence."""
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of pre-sorted data.
+
+    ``fraction`` is in [0, 1]. NaN for empty data.
+    """
+    if not sorted_values:
+        return float("nan")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return sorted_values[lower]
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(sorted(values), 0.5)
+
+
+def empirical_cdf(
+    sorted_values: Sequence[float], points: Sequence[float], total: int | None = None
+) -> List[Tuple[float, float]]:
+    """(x, F(x)) pairs of the empirical CDF evaluated at ``points``.
+
+    ``total`` overrides the denominator — pass the number of *injected*
+    messages to get the paper's delivery-CDF convention where undelivered
+    messages weigh the curve down.
+    """
+    denominator = total if total is not None else len(sorted_values)
+    if denominator <= 0:
+        return [(point, 0.0) for point in points]
+    result: List[Tuple[float, float]] = []
+    index = 0
+    for point in sorted(points):
+        while index < len(sorted_values) and sorted_values[index] <= point:
+            index += 1
+        result.append((point, index / denominator))
+    return result
+
+
+def histogram(
+    values: Sequence[float], edges: Sequence[float]
+) -> List[Tuple[Tuple[float, float], int]]:
+    """Counts of values in half-open bins ``[edges[i], edges[i+1])``."""
+    if len(edges) < 2:
+        raise ValueError("need at least two bin edges")
+    bins = [((edges[i], edges[i + 1]), 0) for i in range(len(edges) - 1)]
+    counts = [0] * (len(edges) - 1)
+    for value in values:
+        for i in range(len(edges) - 1):
+            if edges[i] <= value < edges[i + 1]:
+                counts[i] += 1
+                break
+    return [((edges[i], edges[i + 1]), counts[i]) for i in range(len(edges) - 1)]

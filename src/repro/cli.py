@@ -1,0 +1,229 @@
+"""Command-line interface: run experiments and regenerate figures.
+
+Usage (installed as ``python -m repro``):
+
+    python -m repro trace [--scale S] [--seed N] [--export PATH]
+    python -m repro run --policy epidemic [--scale S]
+                        [--bandwidth-limit N] [--storage-limit N]
+                        [--filter-strategy random|selected --filter-k K]
+    python -m repro figure {5,6,7,8,9,10,all} [--scale S]
+    python -m repro tables
+
+Every command prints paper-style rows; ``figure`` also honours
+``--output-dir`` to persist them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.dtn.registry import PAPER_POLICY_ORDER, available_policies
+from repro.experiments.config import ExperimentConfig, configured_scale
+from repro.experiments.figures import (
+    SharedScenarioInputs,
+    figure_5,
+    figure_6,
+    figure_7,
+    figure_8,
+    figure_9,
+    figure_10,
+)
+from repro.experiments.report import (
+    render_figure_8,
+    render_series_table,
+    render_summary_rows,
+    render_table_1,
+    render_table_2,
+)
+from repro.experiments.runner import run_experiment
+from repro.traces.dieselnet import (
+    DieselNetConfig,
+    format_trace_text,
+    generate_dieselnet_trace,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Peer-to-peer Data Replication Meets Delay "
+            "Tolerant Networking' (ICDCS 2011)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    trace = subparsers.add_parser(
+        "trace", help="generate the synthetic DieselNet trace and print stats"
+    )
+    trace.add_argument("--scale", type=float, default=None)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument(
+        "--export", type=pathlib.Path, default=None,
+        help="write the trace in the text interchange format",
+    )
+
+    run = subparsers.add_parser("run", help="run one experiment configuration")
+    run.add_argument(
+        "--policy", default="cimbiosys", choices=sorted(available_policies())
+    )
+    run.add_argument("--scale", type=float, default=None)
+    run.add_argument("--bandwidth-limit", type=int, default=None)
+    run.add_argument("--storage-limit", type=int, default=None)
+    run.add_argument(
+        "--filter-strategy", choices=("self", "random", "selected"), default="self"
+    )
+    run.add_argument("--filter-k", type=int, default=0)
+    run.add_argument(
+        "--addressing", choices=("bus", "user"), default="bus",
+        help="bus = the paper's model; user = dynamic-filter extension",
+    )
+
+    figure = subparsers.add_parser(
+        "figure", help="regenerate a figure of the paper's evaluation"
+    )
+    figure.add_argument(
+        "which", choices=("5", "6", "7", "8", "9", "10", "all")
+    )
+    figure.add_argument("--scale", type=float, default=None)
+    figure.add_argument("--output-dir", type=pathlib.Path, default=None)
+
+    subparsers.add_parser("tables", help="print Tables I and II")
+    return parser
+
+
+def _scale(value: Optional[float]) -> float:
+    return value if value is not None else configured_scale()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.contacts import TraceProfile
+
+    config = DieselNetConfig(seed=args.seed, scale=_scale(args.scale))
+    trace = generate_dieselnet_trace(config)
+    print(TraceProfile.of(trace).render())
+    if args.export is not None:
+        with open(args.export, "w") as stream:
+            for line in format_trace_text(trace):
+                stream.write(line + "\n")
+        print(f"exported {len(trace)} encounters to {args.export}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        scale=_scale(args.scale),
+        policy=args.policy,
+        addressing=args.addressing,
+        filter_strategy=args.filter_strategy,
+        filter_k=args.filter_k,
+        bandwidth_limit=args.bandwidth_limit,
+        storage_limit=args.storage_limit,
+    )
+    result = run_experiment(config)
+    print(f"experiment: {config.label()}  (scale {config.scale})")
+    print(render_summary_rows({config.label(): result.summary()}))
+    return 0
+
+
+def _emit(text: str, name: str, output_dir: Optional[pathlib.Path]) -> None:
+    print(text)
+    print()
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+        (output_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    inputs = SharedScenarioInputs.at_scale(_scale(args.scale))
+    which = args.which
+    out = args.output_dir
+
+    if which in ("5", "all"):
+        _emit(
+            render_series_table(
+                "Figure 5: average message delay (hours) vs addresses in filter",
+                "k",
+                figure_5(inputs),
+            ),
+            "fig5",
+            out,
+        )
+    if which in ("6", "all"):
+        _emit(
+            render_series_table(
+                "Figure 6: % delivered within 12 hours vs addresses in filter",
+                "k",
+                figure_6(inputs),
+            ),
+            "fig6",
+            out,
+        )
+    if which in ("7", "all"):
+        curves = figure_7(inputs)
+        _emit(
+            render_series_table(
+                "Figure 7(a): % delivered vs delay (hours), unconstrained",
+                "hours",
+                {p: curves[p]["hours"] for p in PAPER_POLICY_ORDER},
+            ),
+            "fig7a",
+            out,
+        )
+        _emit(
+            render_series_table(
+                "Figure 7(b): % delivered vs delay (days), unconstrained",
+                "days",
+                {p: curves[p]["days"] for p in PAPER_POLICY_ORDER},
+            ),
+            "fig7b",
+            out,
+        )
+    if which in ("8", "all"):
+        _emit(render_figure_8(figure_8(inputs)), "fig8", out)
+    if which in ("9", "all"):
+        _emit(
+            render_series_table(
+                "Figure 9: % delivered vs delay (hours), bandwidth-constrained",
+                "hours",
+                figure_9(inputs),
+            ),
+            "fig9",
+            out,
+        )
+    if which in ("10", "all"):
+        _emit(
+            render_series_table(
+                "Figure 10: % delivered vs delay (hours), storage-constrained",
+                "hours",
+                figure_10(inputs),
+            ),
+            "fig10",
+            out,
+        )
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    print(render_table_1())
+    print()
+    print(render_table_2())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "trace": cmd_trace,
+        "run": cmd_run,
+        "figure": cmd_figure,
+        "tables": cmd_tables,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Wire codecs for the bundled routing-policy states.
+
+Registers PROPHET's and MaxProp's sync-request payloads with the
+platform's routing-state codec registry, so full sync sessions round-trip
+through the JSON wire format. Importing this module is enough; it is
+imported by :mod:`repro.dtn` at package load.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.replication.codec import (
+    decode_item_id,
+    encode_item_id,
+    register_routing_codec,
+)
+
+from .maxprop import MaxPropRequest
+from .prophet import ProphetRequest
+
+
+def _encode_prophet(state: ProphetRequest) -> Dict[str, Any]:
+    return {
+        "addresses": sorted(state.addresses),
+        "p": dict(state.predictabilities),
+    }
+
+
+def _decode_prophet(data: Dict[str, Any]) -> ProphetRequest:
+    return ProphetRequest(
+        addresses=frozenset(data["addresses"]),
+        predictabilities={k: float(v) for k, v in data["p"].items()},
+    )
+
+
+def _encode_maxprop(state: MaxPropRequest) -> Dict[str, Any]:
+    return {
+        "node": state.node,
+        "addresses": sorted(state.addresses),
+        "vectors": {
+            node: dict(vector) for node, vector in state.vectors.items()
+        },
+        "locations": {
+            address: [node, stamp]
+            for address, (node, stamp) in state.locations.items()
+        },
+        "acks": [encode_item_id(item_id) for item_id in sorted(state.acks)],
+    }
+
+
+def _decode_maxprop(data: Dict[str, Any]) -> MaxPropRequest:
+    return MaxPropRequest(
+        node=data["node"],
+        addresses=frozenset(data["addresses"]),
+        vectors={
+            node: {k: float(v) for k, v in vector.items()}
+            for node, vector in data["vectors"].items()
+        },
+        locations={
+            address: (node, float(stamp))
+            for address, (node, stamp) in data["locations"].items()
+        },
+        acks=frozenset(decode_item_id(e) for e in data["acks"]),
+    )
+
+
+register_routing_codec(
+    "prophet", ProphetRequest, _encode_prophet, _decode_prophet
+)
+register_routing_codec(
+    "maxprop", MaxPropRequest, _encode_maxprop, _decode_maxprop
+)

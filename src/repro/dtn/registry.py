@@ -1,0 +1,88 @@
+"""Policy registry: name → factory, with the paper's Table II defaults.
+
+Experiment configs refer to policies by name (``"epidemic"``, ``"spray"``,
+``"prophet"``, ``"maxprop"``, ``"cimbiosys"``); the registry turns a name
+plus optional parameter overrides into a fresh, unbound policy instance.
+Every emulated node gets its own instance — policies hold per-host state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from .direct import DirectDeliveryPolicy
+from .epidemic import DEFAULT_TTL, EpidemicPolicy
+from .first_contact import FirstContactPolicy
+from .maxprop import DEFAULT_HOP_THRESHOLD, MaxPropPolicy
+from .policy import DTNPolicy
+from .prophet import (
+    DEFAULT_BETA,
+    DEFAULT_GAMMA,
+    DEFAULT_P_INIT,
+    ProphetPolicy,
+)
+from .spray_wait import DEFAULT_COPIES, SprayAndWaitPolicy
+
+PolicyFactory = Callable[..., DTNPolicy]
+
+_REGISTRY: Dict[str, PolicyFactory] = {}
+
+#: Table II of the paper, as data (see repro.experiments.tables for the
+#: rendered form).
+TABLE_II_PARAMETERS: Dict[str, Dict[str, Any]] = {
+    "epidemic": {"initial_ttl": DEFAULT_TTL},
+    "spray": {"initial_copies": DEFAULT_COPIES},
+    "prophet": {
+        "p_init": DEFAULT_P_INIT,
+        "beta": DEFAULT_BETA,
+        "gamma": DEFAULT_GAMMA,
+    },
+    "maxprop": {"hop_threshold": DEFAULT_HOP_THRESHOLD},
+}
+
+#: Canonical ordering of policies in the paper's figures.
+PAPER_POLICY_ORDER: Tuple[str, ...] = (
+    "cimbiosys",
+    "prophet",
+    "spray",
+    "epidemic",
+    "maxprop",
+)
+
+
+def register_policy(name: str, factory: PolicyFactory) -> None:
+    """Register a policy factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Registered policy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_policy(name: str, **overrides: Any) -> DTNPolicy:
+    """Instantiate a registered policy with Table II defaults plus overrides."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+        ) from None
+    parameters: Dict[str, Any] = dict(TABLE_II_PARAMETERS.get(name, {}))
+    parameters.update(overrides)
+    return factory(**parameters)
+
+
+def default_parameters(name: str) -> Mapping[str, Any]:
+    """The Table II parameter set for ``name`` (empty for cimbiosys)."""
+    return dict(TABLE_II_PARAMETERS.get(name, {}))
+
+
+register_policy("cimbiosys", DirectDeliveryPolicy)
+register_policy("first-contact", FirstContactPolicy)
+register_policy("direct", DirectDeliveryPolicy)
+register_policy("epidemic", EpidemicPolicy)
+register_policy("spray", SprayAndWaitPolicy)
+register_policy("spray-and-wait", SprayAndWaitPolicy)
+register_policy("prophet", ProphetPolicy)
+register_policy("maxprop", MaxPropPolicy)

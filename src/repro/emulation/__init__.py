@@ -1,0 +1,29 @@
+"""Trace-driven discrete-event emulation of the DTN messaging system.
+
+Reproduces the paper's Section VI-A environment: many application+replica
+instances in one process, encounters replayed from a mobility trace, two
+syncs per encounter with alternating roles, optional bandwidth and storage
+constraints, and delivery/traffic/storage metrics collection.
+"""
+
+from .encounters import SECONDS_PER_DAY, Encounter, EncounterTrace
+from .engine import EventPriority, SimulationEngine
+from .metrics import DAYS, HOURS, MessageRecord, MetricsCollector
+from .network import AssignmentSchedule, Emulator, Injection
+from .node import EmulatedNode
+
+__all__ = [
+    "AssignmentSchedule",
+    "DAYS",
+    "Emulator",
+    "EmulatedNode",
+    "Encounter",
+    "EncounterTrace",
+    "EventPriority",
+    "HOURS",
+    "Injection",
+    "MessageRecord",
+    "MetricsCollector",
+    "SECONDS_PER_DAY",
+    "SimulationEngine",
+]

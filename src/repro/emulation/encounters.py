@@ -1,0 +1,154 @@
+"""Encounter schedules: when which pairs of hosts can synchronise.
+
+An :class:`Encounter` is one connectivity opportunity between two hosts at
+a point in simulated time (seconds from the start of the trace). An
+:class:`EncounterTrace` is an ordered collection of encounters plus the
+derived views the experiments need: the set of participating hosts, per-day
+slicing, per-host activity, and pairwise meeting frequencies (which drive
+the ``selected`` filter strategy of Figures 5 and 6).
+
+Time convention: day ``d`` (0-based) spans ``[d·86400, (d+1)·86400)``
+seconds; the DieselNet generator places encounters inside each day's
+service window (08:00–23:00).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Tuple
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True, order=True)
+class Encounter:
+    """One meeting between hosts ``a`` and ``b`` at ``time`` seconds.
+
+    ``duration`` (seconds, 0 = unknown/instantaneous) models how long the
+    radio contact lasted; the emulator can translate it into a
+    per-encounter transfer budget (real DieselNet contacts are short and
+    frequently truncate transfers).
+    """
+
+    time: float
+    a: str
+    b: str
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("an encounter needs two distinct hosts")
+        if self.time < 0:
+            raise ValueError("encounter time must be non-negative")
+        if self.duration < 0:
+            raise ValueError("encounter duration must be non-negative")
+
+    @property
+    def day(self) -> int:
+        return int(self.time // SECONDS_PER_DAY)
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        """The unordered pair, canonically sorted."""
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+
+class EncounterTrace:
+    """An immutable, time-sorted sequence of encounters."""
+
+    def __init__(self, encounters: Iterable[Encounter]) -> None:
+        self._encounters: List[Encounter] = sorted(encounters)
+
+    def __len__(self) -> int:
+        return len(self._encounters)
+
+    def __iter__(self) -> Iterator[Encounter]:
+        return iter(self._encounters)
+
+    def __getitem__(self, index: int) -> Encounter:
+        return self._encounters[index]
+
+    @property
+    def hosts(self) -> FrozenSet[str]:
+        """Every host appearing anywhere in the trace."""
+        names = set()
+        for encounter in self._encounters:
+            names.add(encounter.a)
+            names.add(encounter.b)
+        return frozenset(names)
+
+    @property
+    def days(self) -> Tuple[int, ...]:
+        """The distinct days (0-based) on which encounters occur, sorted."""
+        return tuple(sorted({encounter.day for encounter in self._encounters}))
+
+    @property
+    def duration(self) -> float:
+        """Seconds from time 0 to the end of the last encounter's day."""
+        if not self._encounters:
+            return 0.0
+        return (self._encounters[-1].day + 1) * SECONDS_PER_DAY
+
+    def on_day(self, day: int) -> "EncounterTrace":
+        """The sub-trace of encounters on one day."""
+        return EncounterTrace(e for e in self._encounters if e.day == day)
+
+    def hosts_active_on(self, day: int) -> FrozenSet[str]:
+        """Hosts with at least one encounter on ``day``."""
+        names = set()
+        for encounter in self._encounters:
+            if encounter.day == day:
+                names.add(encounter.a)
+                names.add(encounter.b)
+        return frozenset(names)
+
+    def active_hosts_by_day(self) -> Dict[int, FrozenSet[str]]:
+        """Day → hosts active that day, in one pass."""
+        by_day: Dict[int, set] = defaultdict(set)
+        for encounter in self._encounters:
+            by_day[encounter.day].add(encounter.a)
+            by_day[encounter.day].add(encounter.b)
+        return {day: frozenset(hosts) for day, hosts in by_day.items()}
+
+    def meeting_counts(self) -> Mapping[Tuple[str, str], int]:
+        """Unordered pair → number of encounters across the whole trace."""
+        return Counter(encounter.pair for encounter in self._encounters)
+
+    def meeting_counts_for(self, host: str) -> Dict[str, int]:
+        """Other host → number of encounters with ``host``.
+
+        This is the oracle the ``selected`` filter strategy uses: "picks
+        the k other hosts that a given host will encounter most in the
+        trace".
+        """
+        counts: Counter = Counter()
+        for encounter in self._encounters:
+            if encounter.a == host:
+                counts[encounter.b] += 1
+            elif encounter.b == host:
+                counts[encounter.a] += 1
+        return dict(counts)
+
+    def restricted_to(self, hosts: Iterable[str]) -> "EncounterTrace":
+        """The sub-trace touching only the given hosts."""
+        keep = frozenset(hosts)
+        return EncounterTrace(
+            e for e in self._encounters if e.a in keep and e.b in keep
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics, matching how the paper describes its trace."""
+        by_day = self.active_hosts_by_day()
+        days = len(by_day)
+        return {
+            "encounters": float(len(self._encounters)),
+            "hosts": float(len(self.hosts)),
+            "days": float(days),
+            "mean_hosts_per_day": (
+                sum(len(h) for h in by_day.values()) / days if days else 0.0
+            ),
+            "mean_encounters_per_day": (
+                len(self._encounters) / days if days else 0.0
+            ),
+        }

@@ -1,0 +1,240 @@
+"""Measurement: everything the paper's evaluation section reports.
+
+The collector tracks, per injected message: injection time, first delivery
+time, and the number of live copies stored network-wide at the moment of
+delivery and at the end of the experiment — the quantities behind
+Figures 5–10. Sync-level counters (transmissions, truncations, evictions)
+quantify the traffic/storage side of the trade-off.
+
+Delay conventions follow the paper: delays are measured from injection to
+*first* delivery; "delivered within T" fractions are over all injected
+messages (undelivered counts against the fraction); mean delay is over
+delivered messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.replication.ids import ItemId
+from repro.replication.sync import SyncStats
+
+HOURS = 3600.0
+DAYS = 86400.0
+
+
+@dataclass
+class MessageRecord:
+    """Lifecycle of one injected message."""
+
+    message_id: ItemId
+    source: str
+    destination: str
+    injected_at: float
+    injected_node: str
+    delivered_at: Optional[float] = None
+    delivered_node: Optional[str] = None
+    copies_at_delivery: Optional[int] = None
+    copies_at_end: Optional[int] = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_at is not None
+
+    @property
+    def delay(self) -> Optional[float]:
+        """Injection-to-first-delivery delay in seconds (None if undelivered)."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.injected_at
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-message records and aggregate traffic counters."""
+
+    records: Dict[ItemId, MessageRecord] = field(default_factory=dict)
+    syncs: int = 0
+    encounters: int = 0
+    transmissions: int = 0
+    matching_transmissions: int = 0
+    relayed_transmissions: int = 0
+    truncated_transmissions: int = 0
+    evictions: int = 0
+    end_time: float = 0.0
+
+    # -- recording ------------------------------------------------------------------
+
+    def record_injection(
+        self,
+        message_id: ItemId,
+        source: str,
+        destination: str,
+        time: float,
+        node: str,
+    ) -> None:
+        self.records[message_id] = MessageRecord(
+            message_id=message_id,
+            source=source,
+            destination=destination,
+            injected_at=time,
+            injected_node=node,
+        )
+
+    def record_delivery(
+        self, message_id: ItemId, time: float, node: str, copies: int
+    ) -> bool:
+        """Record a first delivery. Returns False for unknown/repeat events."""
+        record = self.records.get(message_id)
+        if record is None or record.delivered:
+            return False
+        record.delivered_at = time
+        record.delivered_node = node
+        record.copies_at_delivery = copies
+        return True
+
+    def record_sync(self, stats: SyncStats) -> None:
+        self.syncs += 1
+        self.transmissions += stats.sent_total
+        self.matching_transmissions += stats.sent_matching
+        self.relayed_transmissions += stats.sent_relayed
+        self.truncated_transmissions += stats.truncated
+
+    def record_encounter(self) -> None:
+        self.encounters += 1
+
+    def record_eviction(self) -> None:
+        self.evictions += 1
+
+    # -- aggregate views ----------------------------------------------------------------
+
+    @property
+    def injected(self) -> int:
+        return len(self.records)
+
+    @property
+    def delivered(self) -> int:
+        return sum(1 for record in self.records.values() if record.delivered)
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.injected if self.injected else 0.0
+
+    def delays(self) -> List[float]:
+        """Delays (seconds) of delivered messages, sorted ascending."""
+        return sorted(
+            record.delay  # type: ignore[misc]
+            for record in self.records.values()
+            if record.delay is not None
+        )
+
+    def mean_delay(self) -> Optional[float]:
+        """Mean delivery delay in seconds, over delivered messages."""
+        delays = self.delays()
+        if not delays:
+            return None
+        return sum(delays) / len(delays)
+
+    def mean_delay_hours(self) -> Optional[float]:
+        mean = self.mean_delay()
+        return None if mean is None else mean / HOURS
+
+    def max_delay(self) -> Optional[float]:
+        delays = self.delays()
+        return delays[-1] if delays else None
+
+    def fraction_delivered_within(self, seconds: float) -> float:
+        """Fraction of *all injected* messages delivered within ``seconds``."""
+        if not self.records:
+            return 0.0
+        on_time = sum(
+            1
+            for record in self.records.values()
+            if record.delay is not None and record.delay <= seconds
+        )
+        return on_time / len(self.records)
+
+    def delay_cdf(self, points: Sequence[float]) -> List[Tuple[float, float]]:
+        """(delay_bound_seconds, fraction delivered within it) pairs.
+
+        This is exactly the curve family of Figures 7, 9, and 10: the
+        cumulative distribution of message delays over all injections.
+        """
+        return [(point, self.fraction_delivered_within(point)) for point in points]
+
+    def mean_copies_at_delivery(self) -> Optional[float]:
+        values = [
+            record.copies_at_delivery
+            for record in self.records.values()
+            if record.copies_at_delivery is not None
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def mean_copies_at_end(self) -> Optional[float]:
+        values = [
+            record.copies_at_end
+            for record in self.records.values()
+            if record.copies_at_end is not None
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def injections_by_day(self) -> Dict[int, int]:
+        """Day (0-based) → messages injected that day."""
+        counts: Dict[int, int] = {}
+        for record in self.records.values():
+            day = int(record.injected_at // DAYS)
+            counts[day] = counts.get(day, 0) + 1
+        return counts
+
+    def deliveries_by_day(self) -> Dict[int, int]:
+        """Day (0-based) → messages first delivered that day."""
+        counts: Dict[int, int] = {}
+        for record in self.records.values():
+            if record.delivered_at is None:
+                continue
+            day = int(record.delivered_at // DAYS)
+            counts[day] = counts.get(day, 0) + 1
+        return counts
+
+    def backlog_by_day(self) -> Dict[int, int]:
+        """Day → messages injected but not yet delivered at day end.
+
+        The day-by-day view of convergence: the paper's Figure 7(b)
+        plateau corresponds to this reaching (near) zero.
+        """
+        injected = self.injections_by_day()
+        delivered = self.deliveries_by_day()
+        days = sorted(set(injected) | set(delivered))
+        backlog: Dict[int, int] = {}
+        outstanding = 0
+        for day in range(days[0], days[-1] + 1) if days else []:
+            outstanding += injected.get(day, 0) - delivered.get(day, 0)
+            backlog[day] = outstanding
+        return backlog
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for reports and experiment assertions."""
+        mean_delay_hours = self.mean_delay_hours()
+        max_delay = self.max_delay()
+        return {
+            "injected": float(self.injected),
+            "delivered": float(self.delivered),
+            "delivery_ratio": self.delivery_ratio,
+            "mean_delay_hours": mean_delay_hours if mean_delay_hours is not None else float("nan"),
+            "max_delay_days": (max_delay / DAYS) if max_delay is not None else float("nan"),
+            "within_12h": self.fraction_delivered_within(12 * HOURS),
+            "encounters": float(self.encounters),
+            "syncs": float(self.syncs),
+            "transmissions": float(self.transmissions),
+            "relayed_transmissions": float(self.relayed_transmissions),
+            "evictions": float(self.evictions),
+            "mean_copies_at_delivery": (
+                self.mean_copies_at_delivery() or float("nan")
+            ),
+            "mean_copies_at_end": (self.mean_copies_at_end() or float("nan")),
+        }

@@ -1,0 +1,255 @@
+"""The emulator: replays a trace against a population of emulated nodes.
+
+This is the paper's experimental environment (Section VI-A) in simulated
+time: "Each DTN application instance represents a different device and is
+paired with a Cimbiosys replica. Whenever a host sends a message, the DTN
+application simply inserts the message into the sending host's replica.
+During an encounter between two hosts, we performed two syncs between the
+corresponding replicas, alternating the source and target roles."
+
+The emulator schedules three event kinds on the discrete-event engine:
+
+* **reassignments** (day boundaries, first): each node's hosted-user set is
+  replaced — filters change, relayed mail can become delivered mail;
+* **injections**: a user's message enters the replica of whichever node
+  currently hosts the user;
+* **encounters**: two syncs with alternating roles, optionally capped by
+  the Figure 9 bandwidth constraint.
+
+Everything is deterministic given the trace, the workload, and ``seed``
+(used only to pick which side of an encounter initiates first).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
+
+from repro.replication.events import BaseReplicaObserver
+from repro.replication.items import Item
+from repro.replication.sync import perform_encounter
+
+from .encounters import SECONDS_PER_DAY, Encounter, EncounterTrace
+from .engine import EventPriority, SimulationEngine
+from .metrics import MetricsCollector
+from .node import EmulatedNode
+
+
+@dataclass(frozen=True)
+class Injection:
+    """A message the workload injects: who sends what to whom, when."""
+
+    time: float
+    source: str
+    destination: str
+    body: object = None
+
+
+#: day → node name → user addresses hosted that day.
+AssignmentSchedule = Mapping[int, Mapping[str, FrozenSet[str]]]
+
+
+class _EvictionCounter(BaseReplicaObserver):
+    def __init__(self, metrics: MetricsCollector) -> None:
+        self._metrics = metrics
+
+    def on_evict(self, item: Item) -> None:
+        self._metrics.record_eviction()
+
+
+class Emulator:
+    """Wires trace + workload + nodes together and runs to completion."""
+
+    def __init__(
+        self,
+        trace: EncounterTrace,
+        nodes: Mapping[str, EmulatedNode],
+        injections: Sequence[Injection] = (),
+        assignments: Optional[AssignmentSchedule] = None,
+        bandwidth_limit: Optional[int] = None,
+        messages_per_second: Optional[float] = None,
+        sync_failure_probability: float = 0.0,
+        seed: int = 0,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        """Two further realism knobs beyond the paper's Figure 9/10 limits:
+
+        * ``messages_per_second`` derives a per-encounter transfer budget
+          from the encounter's radio-contact ``duration`` (encounters
+          without a recorded duration stay unlimited); it composes with
+          ``bandwidth_limit`` by taking the tighter of the two.
+        * ``sync_failure_probability`` drops whole encounters at random
+          (the radio contact happened but no sync completed), seeded and
+          deterministic. The substrate's crash-safety makes this purely a
+          performance effect, never a correctness one.
+        """
+        if not 0.0 <= sync_failure_probability <= 1.0:
+            raise ValueError("sync_failure_probability must be in [0, 1]")
+        if messages_per_second is not None and messages_per_second <= 0:
+            raise ValueError("messages_per_second must be positive")
+        self.trace = trace
+        self.nodes: Dict[str, EmulatedNode] = dict(nodes)
+        self.injections = list(injections)
+        self.assignments = dict(assignments or {})
+        self.bandwidth_limit = bandwidth_limit
+        self.messages_per_second = messages_per_second
+        self.sync_failure_probability = sync_failure_probability
+        self.failed_encounters = 0
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.engine = SimulationEngine()
+        self._rng = random.Random(seed)
+        self._user_location: Dict[str, str] = {}
+        self._skipped_injections: list[Injection] = []
+
+        missing = self.trace.hosts - self.nodes.keys()
+        if missing:
+            raise ValueError(f"trace references unknown nodes: {sorted(missing)}")
+
+        eviction_counter = _EvictionCounter(self.metrics)
+        for node in self.nodes.values():
+            node.replica.register_observer(eviction_counter)
+            node.app.on_delivery(
+                lambda message, _node=node: self._on_delivery(_node, message)
+            )
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _apply_assignment(self, day: int) -> None:
+        day_map = self.assignments.get(day, {})
+        for name, node in self.nodes.items():
+            users = frozenset(day_map.get(name, frozenset()))
+            node.assign_addresses(users)
+        self._user_location = {
+            user: name for name, users in day_map.items() for user in users
+        }
+
+    def _inject(self, injection: Injection) -> None:
+        # The source may name a node directly (bus-addressed workloads) or
+        # a user, resolved through the current assignment.
+        if injection.source in self.nodes:
+            node_name = injection.source
+        else:
+            node_name = self._user_location.get(injection.source)
+        if node_name is None:
+            # The sender's user is not riding any bus right now; the
+            # workload layer avoids this, but record rather than crash.
+            self._skipped_injections.append(injection)
+            return
+        node = self.nodes[node_name]
+        message = node.send(
+            injection.source,
+            injection.destination,
+            injection.body,
+            now=self.engine.now,
+        )
+        self.metrics.record_injection(
+            message.message_id,
+            injection.source,
+            injection.destination,
+            self.engine.now,
+            node_name,
+        )
+        if node.app.has_received(message.message_id):
+            # Sender and recipient share a host: the message matched the
+            # local filter at creation, before the injection was recorded.
+            self.metrics.record_delivery(
+                message.message_id,
+                self.engine.now,
+                node_name,
+                self.count_copies(message.message_id),
+            )
+
+    def _encounter_budget(self, encounter: Encounter) -> Optional[int]:
+        """The transfer budget for one encounter: the tighter of the flat
+        Figure 9 cap and the duration-derived capacity."""
+        budget = self.bandwidth_limit
+        if self.messages_per_second is not None and encounter.duration > 0:
+            by_duration = max(
+                1, int(encounter.duration * self.messages_per_second)
+            )
+            budget = by_duration if budget is None else min(budget, by_duration)
+        return budget
+
+    def _run_encounter(self, encounter: Encounter) -> None:
+        order = self._rng.random() < 0.5
+        if (
+            self.sync_failure_probability > 0.0
+            and self._rng.random() < self.sync_failure_probability
+        ):
+            self.failed_encounters += 1
+            return
+        node_a = self.nodes[encounter.a]
+        node_b = self.nodes[encounter.b]
+        first, second = (node_a, node_b) if order else (node_b, node_a)
+        stats = perform_encounter(
+            first.endpoint,
+            second.endpoint,
+            now=self.engine.now,
+            max_items_per_encounter=self._encounter_budget(encounter),
+        )
+        self.metrics.record_encounter()
+        for sync_stats in stats:
+            self.metrics.record_sync(sync_stats)
+
+    def _on_delivery(self, node: EmulatedNode, message) -> None:
+        copies = self.count_copies(message.message_id)
+        self.metrics.record_delivery(
+            message.message_id, self.engine.now, node.name, copies
+        )
+
+    # -- queries -----------------------------------------------------------------------
+
+    def count_copies(self, item_id) -> int:
+        """Live (non-tombstone) copies of a message stored network-wide."""
+        return sum(1 for node in self.nodes.values() if node.holds_message(item_id))
+
+    @property
+    def skipped_injections(self) -> Sequence[Injection]:
+        return tuple(self._skipped_injections)
+
+    def user_location(self, user: str) -> Optional[str]:
+        return self._user_location.get(user)
+
+    # -- orchestration -----------------------------------------------------------------------
+
+    def schedule_all(self, extra_days: int = 0) -> float:
+        """Queue every event; returns the simulation end time."""
+        last_day = max(
+            [encounter.day for encounter in self.trace]
+            + list(self.assignments.keys())
+            + [0],
+        )
+        end_time = (last_day + 1 + extra_days) * SECONDS_PER_DAY
+        for day in sorted(self.assignments):
+            self.engine.schedule(
+                day * SECONDS_PER_DAY,
+                lambda _day=day: self._apply_assignment(_day),
+                EventPriority.CONTROL,
+            )
+        for injection in self.injections:
+            self.engine.schedule(
+                injection.time,
+                lambda _injection=injection: self._inject(_injection),
+                EventPriority.INJECT,
+            )
+        for encounter in self.trace:
+            self.engine.schedule(
+                encounter.time,
+                lambda _encounter=encounter: self._run_encounter(_encounter),
+                EventPriority.ENCOUNTER,
+            )
+        return end_time
+
+    def run(self, extra_days: int = 0) -> MetricsCollector:
+        """Run the whole emulation and finalise metrics."""
+        end_time = self.schedule_all(extra_days=extra_days)
+        self.engine.run(until=end_time)
+        self.finalize()
+        return self.metrics
+
+    def finalize(self) -> None:
+        """Stamp end-of-experiment state (copy counts) into the metrics."""
+        self.metrics.end_time = self.engine.now
+        for record in self.metrics.records.values():
+            record.copies_at_end = self.count_copies(record.message_id)

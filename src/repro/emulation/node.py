@@ -1,0 +1,112 @@
+"""An emulated host: replica + messaging app + routing policy + addresses.
+
+Each DieselNet bus becomes one :class:`EmulatedNode`. The node owns:
+
+* its replica (with an optional relay-store cap — the Figure 10 storage
+  constraint),
+* its messaging app (delivery accounting),
+* its routing policy instance (bound to the replica and to the node's
+  dynamic address set),
+* its **address set** — the node's own address plus the user addresses
+  currently assigned to it (the paper re-distributes users over active
+  buses every day) plus any static relay addresses from a Figure 5/6
+  filter strategy.
+
+Changing the address set rewrites the replica's filter; the replica's
+filter-change logic promotes already-relayed items into the in-filter
+store, which the app observes as deliveries — exactly the "user boards a
+bus that already carries their mail" case.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+from repro.dtn.policy import DTNPolicy
+from repro.messaging.app import MessagingApp
+from repro.replication.filters import MultiAddressFilter
+from repro.replication.ids import ReplicaId
+from repro.replication.replica import Replica
+from repro.replication.sync import SyncEndpoint
+
+
+class EmulatedNode:
+    """One host participating in the emulation."""
+
+    def __init__(
+        self,
+        name: str,
+        policy: DTNPolicy,
+        relay_capacity: Optional[int] = None,
+        relay_eviction: object = "fifo",
+        static_relay_addresses: Iterable[str] = (),
+        delete_on_receipt: bool = False,
+    ) -> None:
+        self.name = name
+        self._assigned_addresses: FrozenSet[str] = frozenset()
+        self._static_relay: FrozenSet[str] = frozenset(static_relay_addresses)
+        self.replica = Replica(
+            ReplicaId(name),
+            self._build_filter(),
+            relay_capacity=relay_capacity,
+            relay_eviction=relay_eviction,
+        )
+        self.policy = policy.bind(self.replica, self.addresses)
+        self.app = MessagingApp(
+            self.replica, self.addresses, delete_on_receipt=delete_on_receipt
+        )
+        self.endpoint = SyncEndpoint(self.replica, self.policy)
+
+    # -- addressing ---------------------------------------------------------------
+
+    def addresses(self) -> FrozenSet[str]:
+        """Addresses this node currently answers to (own + assigned users).
+
+        Static relay addresses are *not* included: the node carries mail
+        for them (its filter matches) but is not their destination.
+        """
+        return self._assigned_addresses | {self.name}
+
+    @property
+    def assigned_addresses(self) -> FrozenSet[str]:
+        return self._assigned_addresses
+
+    @property
+    def static_relay_addresses(self) -> FrozenSet[str]:
+        return self._static_relay
+
+    def assign_addresses(self, addresses: Iterable[str]) -> None:
+        """Set the user addresses hosted here (a day-boundary reassignment)."""
+        new = frozenset(addresses)
+        if new == self._assigned_addresses:
+            return
+        self._assigned_addresses = new
+        self.replica.set_filter(self._build_filter())
+
+    def set_static_relay_addresses(self, addresses: Iterable[str]) -> None:
+        """Set the Figure 5/6 style extra relay addresses."""
+        new = frozenset(addresses)
+        if new == self._static_relay:
+            return
+        self._static_relay = new
+        self.replica.set_filter(self._build_filter())
+
+    def _build_filter(self) -> MultiAddressFilter:
+        return MultiAddressFilter(
+            own_address=self.name,
+            relay_addresses=self._assigned_addresses | self._static_relay,
+        )
+
+    # -- convenience ------------------------------------------------------------------
+
+    def send(self, source: str, destination: str, body: object, now: float):
+        """Inject a message from a hosted user."""
+        return self.app.send_from(source, destination, body, now=now)
+
+    def holds_message(self, item_id) -> bool:
+        """True if a live (non-tombstone) copy is stored here."""
+        item = self.replica.get_item(item_id)
+        return item is not None and not item.deleted
+
+    def __repr__(self) -> str:
+        return f"EmulatedNode({self.name}, users={sorted(self._assigned_addresses)})"

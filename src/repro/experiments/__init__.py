@@ -1,0 +1,62 @@
+"""Experiment harnesses reproducing the paper's evaluation (Section VI)."""
+
+from .config import DEFAULT_SCALE, ExperimentConfig, configured_scale
+from .figures import (
+    CDF_DAYS,
+    CDF_HOURS,
+    FIGURE_5_K_VALUES,
+    RESULT_CACHE,
+    SharedScenarioInputs,
+    figure_5,
+    figure_6,
+    figure_7,
+    figure_8,
+    figure_9,
+    figure_10,
+    multiaddress_sweep,
+    policy_sweep,
+)
+from .report import (
+    render_figure_8,
+    render_series_table,
+    render_summary_rows,
+    render_table_1,
+    render_table_2,
+)
+from .runner import ExperimentResult, run_experiment, run_scenario
+from .scenario import Scenario, build_scenario, expected_user_meetings
+from .tables import TABLE_I, TABLE_II, TABLE_II_PAPER_VALUES, PolicySummaryRow
+
+__all__ = [
+    "CDF_DAYS",
+    "CDF_HOURS",
+    "DEFAULT_SCALE",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FIGURE_5_K_VALUES",
+    "PolicySummaryRow",
+    "RESULT_CACHE",
+    "Scenario",
+    "SharedScenarioInputs",
+    "TABLE_I",
+    "TABLE_II",
+    "TABLE_II_PAPER_VALUES",
+    "build_scenario",
+    "configured_scale",
+    "expected_user_meetings",
+    "figure_10",
+    "figure_5",
+    "figure_6",
+    "figure_7",
+    "figure_8",
+    "figure_9",
+    "multiaddress_sweep",
+    "policy_sweep",
+    "render_figure_8",
+    "render_series_table",
+    "render_summary_rows",
+    "render_table_1",
+    "render_table_2",
+    "run_experiment",
+    "run_scenario",
+]

@@ -1,0 +1,137 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` fully determines one emulation run: the
+mobility trace (synthetic DieselNet parameters or an externally supplied
+trace), the e-mail workload, the routing policy and its parameters, the
+filter-population strategy (for the Figure 5/6 multi-address experiments),
+and the resource constraints (Figures 9/10). Everything is seeded, so a
+config is a complete, reproducible description of a run.
+
+``scale`` shrinks the scenario uniformly (fewer days/buses/messages) so
+tests and default benchmark runs finish quickly; ``scale=1.0`` is the
+paper's full scenario. The environment variable ``REPRO_SCALE`` overrides
+the default scale used by the figure harnesses.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+#: Default scale used by the figure benchmarks; override with REPRO_SCALE.
+DEFAULT_SCALE = 0.5
+
+
+def configured_scale() -> float:
+    """The scale requested via the ``REPRO_SCALE`` env var (default 0.5)."""
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return DEFAULT_SCALE
+    value = float(raw)
+    if not 0.0 < value <= 1.0:
+        raise ValueError("REPRO_SCALE must be in (0, 1]")
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full description of one emulation run."""
+
+    # Scenario shape (scaled by ``scale``; 1.0 = the paper's numbers).
+    scale: float = 1.0
+    trace_seed: int = 42
+    n_users: int = 100
+    target_messages: int = 490
+    injection_days: int = 8
+
+    # Routing.
+    policy: str = "cimbiosys"
+    policy_parameters: Dict[str, Any] = field(default_factory=dict)
+
+    # How messages are addressed: "bus" = to the node hosting the
+    # recipient on the injection day (the paper's model, static filters);
+    # "user" = to the recipient's own address, with filters tracking the
+    # daily user→bus assignment (dynamic-filter extension mode).
+    addressing: str = "bus"
+
+    # Figure 5/6 filter strategy: "self", "random", or "selected", with k
+    # extra relay addresses per host.
+    filter_strategy: str = "self"
+    filter_k: int = 0
+    filter_seed: int = 17
+
+    # Figure 9/10 constraints. ``eviction_strategy`` picks the relay
+    # buffer's victim-selection rule when storage_limit binds: "fifo"
+    # (the paper's Figure 10 choice), "random", or "oldest-created".
+    bandwidth_limit: Optional[int] = None
+    storage_limit: Optional[int] = None
+    eviction_strategy: str = "fifo"
+
+    # Section IV-A cleanup flow: "after a message is received and
+    # processed, the destination node can simply delete the item, causing
+    # it to be discarded by forwarding nodes". The paper's experiments
+    # never delete (Fig. 8's worst case); enable to study the effect.
+    delete_on_receipt: bool = False
+
+    # Determinism knobs.
+    assignment_seed: int = 5
+    workload_seed: int = 99
+    encounter_order_seed: int = 11
+    email_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        if self.addressing not in ("bus", "user"):
+            raise ValueError("addressing must be 'bus' or 'user'")
+        if self.filter_strategy not in ("self", "random", "selected"):
+            raise ValueError(
+                "filter_strategy must be 'self', 'random', or 'selected'"
+            )
+        if self.filter_strategy == "self" and self.filter_k != 0:
+            raise ValueError("filter_k must be 0 with the 'self' strategy")
+        if self.filter_k < 0:
+            raise ValueError("filter_k must be >= 0")
+        if self.bandwidth_limit is not None and self.bandwidth_limit < 0:
+            raise ValueError("bandwidth_limit must be >= 0 or None")
+        if self.eviction_strategy not in ("fifo", "random", "oldest-created"):
+            raise ValueError(
+                "eviction_strategy must be 'fifo', 'random', or 'oldest-created'"
+            )
+        if self.storage_limit is not None and self.storage_limit < 0:
+            raise ValueError("storage_limit must be >= 0 or None")
+
+    @property
+    def effective_users(self) -> int:
+        return max(6, int(round(self.n_users * self.scale)))
+
+    @property
+    def effective_messages(self) -> int:
+        return max(10, int(round(self.target_messages * self.scale)))
+
+    def with_policy(self, policy: str, **parameters: Any) -> "ExperimentConfig":
+        return replace(self, policy=policy, policy_parameters=dict(parameters))
+
+    def with_filters(self, strategy: str, k: int) -> "ExperimentConfig":
+        return replace(self, filter_strategy=strategy, filter_k=k)
+
+    def with_constraints(
+        self,
+        bandwidth_limit: Optional[int] = None,
+        storage_limit: Optional[int] = None,
+    ) -> "ExperimentConfig":
+        return replace(
+            self, bandwidth_limit=bandwidth_limit, storage_limit=storage_limit
+        )
+
+    def label(self) -> str:
+        """A short human-readable tag for reports."""
+        parts = [self.policy]
+        if self.filter_strategy != "self":
+            parts.append(f"{self.filter_strategy}+{self.filter_k}")
+        if self.bandwidth_limit is not None:
+            parts.append(f"bw={self.bandwidth_limit}")
+        if self.storage_limit is not None:
+            parts.append(f"store={self.storage_limit}")
+        return " ".join(parts)

@@ -1,0 +1,249 @@
+"""Per-figure reproduction harnesses.
+
+Each ``figure_N`` function runs the emulations behind one figure of the
+paper's evaluation section and returns structured series data; the
+``benchmarks/`` suite calls these and prints paper-style rows (see
+:mod:`repro.experiments.report` for the renderer).
+
+Runs are cached per (config, trace-identity) inside the process: Figures 7
+and 8 share one policy sweep, and Figures 5 and 6 share one multi-address
+sweep, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dtn.registry import PAPER_POLICY_ORDER
+from repro.emulation.encounters import EncounterTrace
+from repro.emulation.metrics import HOURS
+from repro.traces.dieselnet import DieselNetConfig, generate_dieselnet_trace
+from repro.traces.enron import EmailWorkloadModel, generate_enron_model
+
+from .config import ExperimentConfig
+from .runner import ExperimentResult, run_experiment
+
+#: k values on the x-axis of Figures 5 and 6 ("Self" is k = 0).
+FIGURE_5_K_VALUES: Tuple[int, ...] = (0, 1, 2, 4, 8, 16)
+
+#: Hour points for the Figure 7(a)/9/10 CDFs.
+CDF_HOURS: Tuple[float, ...] = tuple(float(h) for h in range(0, 13))
+
+#: Day points for the Figure 7(b) CDF.
+CDF_DAYS: Tuple[float, ...] = tuple(float(d) for d in range(1, 11))
+
+
+@dataclass
+class SharedScenarioInputs:
+    """Trace and e-mail model shared across a figure's runs.
+
+    The paper runs every configuration against the same trace and message
+    workload; sharing these across runs both matches that and avoids
+    regenerating them.
+    """
+
+    scale: float
+    trace: EncounterTrace
+    model: EmailWorkloadModel
+
+    @classmethod
+    def at_scale(cls, scale: float, trace_seed: int = 42, email_seed: int = 7
+                 ) -> "SharedScenarioInputs":
+        base = ExperimentConfig(scale=scale, trace_seed=trace_seed)
+        trace = generate_dieselnet_trace(
+            DieselNetConfig(seed=trace_seed, scale=scale)
+        )
+        model = generate_enron_model(
+            n_users=base.effective_users, seed=email_seed
+        )
+        return cls(scale=scale, trace=trace, model=model)
+
+
+class _ResultCache:
+    """Process-wide memo of experiment runs keyed by config identity."""
+
+    def __init__(self) -> None:
+        self._results: Dict[Tuple, ExperimentResult] = {}
+
+    def run(
+        self, config: ExperimentConfig, inputs: SharedScenarioInputs
+    ) -> ExperimentResult:
+        key = (
+            id(inputs.trace),
+            config.scale,
+            config.policy,
+            tuple(sorted(config.policy_parameters.items())),
+            config.filter_strategy,
+            config.filter_k,
+            config.bandwidth_limit,
+            config.storage_limit,
+        )
+        if key not in self._results:
+            self._results[key] = run_experiment(
+                config, trace=inputs.trace, model=inputs.model
+            )
+        return self._results[key]
+
+    def clear(self) -> None:
+        self._results.clear()
+
+
+RESULT_CACHE = _ResultCache()
+
+
+# -- Figures 5 & 6: multi-address filters -------------------------------------------
+
+
+def multiaddress_sweep(
+    inputs: SharedScenarioInputs,
+    k_values: Sequence[int] = FIGURE_5_K_VALUES,
+    strategies: Sequence[str] = ("random", "selected"),
+) -> Dict[Tuple[str, int], ExperimentResult]:
+    """Run the unmodified-Cimbiosys multi-address experiments.
+
+    Returns results keyed by (strategy, k); k = 0 is the shared "Self"
+    baseline, stored under both strategies for convenient plotting.
+    """
+    results: Dict[Tuple[str, int], ExperimentResult] = {}
+    base = ExperimentConfig(scale=inputs.scale, policy="cimbiosys")
+    self_result = RESULT_CACHE.run(base, inputs)
+    for strategy in strategies:
+        results[(strategy, 0)] = self_result
+        for k in k_values:
+            if k == 0:
+                continue
+            config = base.with_filters(strategy, k)
+            results[(strategy, k)] = RESULT_CACHE.run(config, inputs)
+    return results
+
+
+def figure_5(
+    inputs: SharedScenarioInputs,
+    k_values: Sequence[int] = FIGURE_5_K_VALUES,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Mean message delay (hours) vs addresses-in-filter, per strategy."""
+    sweep = multiaddress_sweep(inputs, k_values)
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for strategy in ("random", "selected"):
+        points = []
+        for k in k_values:
+            result = sweep[(strategy, k)]
+            mean_hours = result.metrics.mean_delay_hours()
+            points.append((k, mean_hours if mean_hours is not None else float("nan")))
+        series[strategy] = points
+    return series
+
+
+def figure_6(
+    inputs: SharedScenarioInputs,
+    k_values: Sequence[int] = FIGURE_5_K_VALUES,
+    deadline_hours: float = 12.0,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """% messages delivered within ``deadline_hours`` vs addresses-in-filter."""
+    sweep = multiaddress_sweep(inputs, k_values)
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for strategy in ("random", "selected"):
+        points = []
+        for k in k_values:
+            result = sweep[(strategy, k)]
+            fraction = result.metrics.fraction_delivered_within(
+                deadline_hours * HOURS
+            )
+            points.append((k, 100.0 * fraction))
+        series[strategy] = points
+    return series
+
+
+# -- Figures 7–10: DTN routing policies -----------------------------------------------
+
+
+def policy_sweep(
+    inputs: SharedScenarioInputs,
+    policies: Sequence[str] = PAPER_POLICY_ORDER,
+    bandwidth_limit: Optional[int] = None,
+    storage_limit: Optional[int] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run each routing policy over the shared scenario."""
+    results: Dict[str, ExperimentResult] = {}
+    for policy in policies:
+        config = ExperimentConfig(scale=inputs.scale, policy=policy).with_constraints(
+            bandwidth_limit=bandwidth_limit, storage_limit=storage_limit
+        )
+        results[policy] = RESULT_CACHE.run(config, inputs)
+    return results
+
+
+def figure_7(
+    inputs: SharedScenarioInputs,
+    policies: Sequence[str] = PAPER_POLICY_ORDER,
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Delay CDFs, unconstrained: (a) 0–12 hours, (b) 1–10 days."""
+    sweep = policy_sweep(inputs, policies)
+    curves: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for policy, result in sweep.items():
+        curves[policy] = {
+            "hours": [
+                (hours, 100.0 * fraction)
+                for hours, fraction in result.delay_cdf_hours(CDF_HOURS)
+            ],
+            "days": [
+                (days, 100.0 * fraction)
+                for days, fraction in result.delay_cdf_hours(
+                    [d * 24.0 for d in CDF_DAYS]
+                )
+            ],
+        }
+        # Re-label the day curve's x values back to days.
+        curves[policy]["days"] = [
+            (day, value)
+            for day, (_, value) in zip(CDF_DAYS, curves[policy]["days"])
+        ]
+    return curves
+
+
+def figure_8(
+    inputs: SharedScenarioInputs,
+    policies: Sequence[str] = PAPER_POLICY_ORDER,
+) -> Dict[str, Dict[str, float]]:
+    """Average stored copies per message, at delivery time and at the end."""
+    sweep = policy_sweep(inputs, policies)
+    return {
+        policy: {
+            "at_delivery": result.metrics.mean_copies_at_delivery() or float("nan"),
+            "at_end": result.metrics.mean_copies_at_end() or float("nan"),
+        }
+        for policy, result in sweep.items()
+    }
+
+
+def figure_9(
+    inputs: SharedScenarioInputs,
+    policies: Sequence[str] = PAPER_POLICY_ORDER,
+    bandwidth_limit: int = 1,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Delay CDF (0–12 h) with the bandwidth cap (1 message per encounter)."""
+    sweep = policy_sweep(inputs, policies, bandwidth_limit=bandwidth_limit)
+    return {
+        policy: [
+            (hours, 100.0 * fraction)
+            for hours, fraction in result.delay_cdf_hours(CDF_HOURS)
+        ]
+        for policy, result in sweep.items()
+    }
+
+
+def figure_10(
+    inputs: SharedScenarioInputs,
+    policies: Sequence[str] = PAPER_POLICY_ORDER,
+    storage_limit: int = 2,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Delay CDF (0–12 h) with the storage cap (2 relayed messages per node)."""
+    sweep = policy_sweep(inputs, policies, storage_limit=storage_limit)
+    return {
+        policy: [
+            (hours, 100.0 * fraction)
+            for hours, fraction in result.delay_cdf_hours(CDF_HOURS)
+        ]
+        for policy, result in sweep.items()
+    }

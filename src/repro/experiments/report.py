@@ -1,0 +1,119 @@
+"""Text rendering of figure/table data in paper-style rows."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .tables import TABLE_I, TABLE_II
+
+
+def render_series_table(
+    title: str,
+    x_label: str,
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    value_format: str = "{:8.2f}",
+) -> str:
+    """Render {series name: [(x, y), ...]} as an aligned text table."""
+    lines = [title]
+    names = list(series)
+    xs: List[float] = []
+    for points in series.values():
+        for x, _ in points:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    header = f"{x_label:>12} | " + " | ".join(f"{name:>12}" for name in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    for x in xs:
+        cells = []
+        for name in names:
+            y = lookup[name].get(x)
+            cells.append(
+                f"{'—':>12}" if y is None else f"{value_format.format(y):>12}"
+            )
+        x_text = f"{x:g}"
+        lines.append(f"{x_text:>12} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def render_figure_8(copies: Mapping[str, Mapping[str, float]]) -> str:
+    """Render the Figure 8 bar data as rows."""
+    lines = [
+        "Figure 8: average copies of each message stored in the network",
+        f"{'policy':>12} | {'at delivery':>12} | {'at end':>12}",
+        "-" * 44,
+    ]
+    for policy, values in copies.items():
+        lines.append(
+            f"{policy:>12} | {values['at_delivery']:>12.2f} | "
+            f"{values['at_end']:>12.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_cdf_plot(
+    title: str,
+    x_label: str,
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    y_max: float = 100.0,
+) -> str:
+    """An ASCII rendition of a CDF family, one row per (series, x) point.
+
+    Each row draws a bar proportional to the y value, giving a quick
+    terminal read of the figures without a plotting stack.
+    """
+    lines = [title]
+    for name, points in series.items():
+        lines.append(f"  {name}")
+        for x, y in points:
+            filled = int(round((min(max(y, 0.0), y_max) / y_max) * width))
+            bar = "█" * filled + "·" * (width - filled)
+            lines.append(f"    {x_label}={x:>6g} |{bar}| {y:6.1f}")
+    return "\n".join(lines)
+
+
+def render_table_1() -> str:
+    """Table I, as printed in the paper."""
+    lines = ["Table I: summary of policies for DTN routing protocols", ""]
+    for row in TABLE_I:
+        lines.append(f"{row.protocol}:")
+        lines.append(f"  routing state         : {row.routing_state}")
+        lines.append(f"  added to sync request : {row.added_to_sync_request or '—'}")
+        lines.append(f"  source forwarding     : {row.source_forwarding_policy}")
+    return "\n".join(lines)
+
+
+def render_table_2() -> str:
+    """Table II, as printed in the paper."""
+    lines = ["Table II: DTN protocol parameters", ""]
+    for policy, parameters in TABLE_II.items():
+        rendered = ", ".join(f"{k}={v}" for k, v in parameters.items())
+        lines.append(f"  {policy:>10}: {rendered}")
+    return "\n".join(lines)
+
+
+def render_summary_rows(summaries: Mapping[str, Mapping[str, float]]) -> str:
+    """Side-by-side headline metrics for a set of runs."""
+    keys = [
+        "delivery_ratio",
+        "mean_delay_hours",
+        "max_delay_days",
+        "within_12h",
+        "transmissions",
+        "mean_copies_at_delivery",
+        "mean_copies_at_end",
+    ]
+    lines = [f"{'metric':>24} | " + " | ".join(f"{name:>11}" for name in summaries)]
+    lines.append("-" * len(lines[0]))
+    for key in keys:
+        cells = []
+        for summary in summaries.values():
+            value = summary.get(key, float("nan"))
+            cells.append(f"{value:>11.2f}")
+        lines.append(f"{key:>24} | " + " | ".join(cells))
+    return "\n".join(lines)

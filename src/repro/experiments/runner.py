@@ -1,0 +1,62 @@
+"""Experiment execution: config in, measured result out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.emulation.encounters import EncounterTrace
+from repro.emulation.metrics import HOURS, MetricsCollector
+from repro.traces.enron import EmailWorkloadModel
+
+from .config import ExperimentConfig
+from .scenario import Scenario, build_scenario
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one emulation run."""
+
+    config: ExperimentConfig
+    metrics: MetricsCollector
+    trace_summary: Dict[str, float]
+
+    @property
+    def label(self) -> str:
+        return self.config.label()
+
+    def delay_cdf_hours(
+        self, hour_points: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        """(hours, fraction delivered) pairs — the Figure 7/9/10 curves."""
+        return [
+            (hours, fraction)
+            for (seconds, fraction), hours in zip(
+                self.metrics.delay_cdf([h * HOURS for h in hour_points]),
+                hour_points,
+            )
+        ]
+
+    def summary(self) -> Dict[str, float]:
+        return self.metrics.summary()
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    trace: Optional[EncounterTrace] = None,
+    model: Optional[EmailWorkloadModel] = None,
+    extra_days: int = 0,
+) -> ExperimentResult:
+    """Build the scenario for ``config``, run it, and collect metrics."""
+    scenario = build_scenario(config, trace=trace, model=model)
+    return run_scenario(scenario, extra_days=extra_days)
+
+
+def run_scenario(scenario: Scenario, extra_days: int = 0) -> ExperimentResult:
+    """Run a pre-built scenario (lets callers inspect or tweak it first)."""
+    metrics = scenario.emulator.run(extra_days=extra_days)
+    return ExperimentResult(
+        config=scenario.config,
+        metrics=metrics,
+        trace_summary=scenario.trace.summary(),
+    )

@@ -1,0 +1,29 @@
+"""The DTN messaging application (the paper's Section IV).
+
+Messages are replicated items; a host's filter selects the messages
+addressed to it (plus any addresses it volunteers to relay for). The
+application inherits reliable, at-most-once, eventually consistent delivery
+from the substrate.
+"""
+
+from .addressing import (
+    flooding_filter,
+    random_k_filter,
+    relay_set,
+    selected_k_filter,
+    self_only_filter,
+)
+from .app import DeliveryCallback, DeliveryReceipt, MessagingApp
+from .message import Message
+
+__all__ = [
+    "DeliveryCallback",
+    "DeliveryReceipt",
+    "Message",
+    "MessagingApp",
+    "flooding_filter",
+    "random_k_filter",
+    "relay_set",
+    "selected_k_filter",
+    "self_only_filter",
+]

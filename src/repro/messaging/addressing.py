@@ -1,0 +1,81 @@
+"""Filter-population strategies for multi-address forwarding (Section IV-B).
+
+The paper's first multi-hop mechanism changes no platform code at all: a
+host simply lists addresses other than its own in its filter, volunteering
+to carry mail for them. Two strategies are evaluated (Figures 5 and 6):
+
+* **random** — ``k`` addresses drawn uniformly from the other hosts;
+* **selected** — the ``k`` addresses belonging to the hosts this host
+  encounters most often in the trace (an oracle over the mobility trace,
+  as in the paper).
+
+Both strategies here operate on abstract *addresses*; the experiments layer
+supplies the candidate pool and, for ``selected``, the encounter-frequency
+ranking derived from the mobility trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, Mapping, Sequence
+
+from repro.replication.filters import MultiAddressFilter
+
+
+def self_only_filter(own_address: str) -> MultiAddressFilter:
+    """The basic DTN app's filter: only mail addressed to this host (k = 0)."""
+    return MultiAddressFilter(own_address=own_address)
+
+
+def random_k_filter(
+    own_address: str,
+    candidate_addresses: Iterable[str],
+    k: int,
+    rng: random.Random,
+) -> MultiAddressFilter:
+    """``random`` strategy: own address plus ``k`` uniformly chosen others.
+
+    ``rng`` must be a seeded :class:`random.Random` so experiment runs are
+    reproducible. If fewer than ``k`` candidates exist, all are taken.
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    pool = sorted(set(candidate_addresses) - {own_address})
+    chosen = pool if len(pool) <= k else rng.sample(pool, k)
+    return MultiAddressFilter(own_address=own_address, relay_addresses=frozenset(chosen))
+
+
+def selected_k_filter(
+    own_address: str,
+    encounter_frequency: Mapping[str, float],
+    k: int,
+) -> MultiAddressFilter:
+    """``selected`` strategy: own address plus the ``k`` most-encountered.
+
+    ``encounter_frequency`` maps candidate address → how often this host
+    meets the host answering to that address over the whole trace (the
+    paper computes this from the trace itself, i.e. with future knowledge).
+    Ties break lexicographically for determinism.
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    ranked = sorted(
+        (address for address in encounter_frequency if address != own_address),
+        key=lambda address: (-encounter_frequency[address], address),
+    )
+    return MultiAddressFilter(
+        own_address=own_address, relay_addresses=frozenset(ranked[:k])
+    )
+
+
+def flooding_filter(own_address: str, all_addresses: Sequence[str]) -> MultiAddressFilter:
+    """The ``k → everyone`` limit: equivalent to epidemic flooding."""
+    return MultiAddressFilter(
+        own_address=own_address,
+        relay_addresses=frozenset(a for a in all_addresses if a != own_address),
+    )
+
+
+def relay_set(filter_: MultiAddressFilter) -> FrozenSet[str]:
+    """The addresses a filter relays for (everything except the host's own)."""
+    return filter_.relay_addresses

@@ -1,0 +1,112 @@
+"""Message representation for the DTN application.
+
+A :class:`Message` is the application-level view of a replicated item: the
+payload plus the addressing metadata that the substrate's filters route by.
+The mapping is the paper's Section IV-A design — "messages are the data
+items that are replicated between nodes":
+
+====================  ============================================
+Message field         Item representation
+====================  ============================================
+``source``            replicated attribute ``source``
+``destination``       replicated attribute ``destination``
+``created_at``        replicated attribute ``created_at``
+``body``              item payload
+(message identity)    the item id
+====================  ============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.replication.ids import ItemId
+from repro.replication.items import (
+    ATTR_CREATED_AT,
+    ATTR_DESTINATION,
+    ATTR_KIND,
+    ATTR_SOURCE,
+    KIND_MESSAGE,
+    Item,
+)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One application message, as sent or received.
+
+    ``destination`` is a single address (unicast) or a tuple of addresses
+    (multicast).
+    """
+
+    message_id: ItemId
+    source: str
+    destination: Union[str, Tuple[str, ...]]
+    body: Any
+    created_at: float
+
+    @classmethod
+    def attributes_for(
+        cls, source: str, destination: str, created_at: float
+    ) -> Dict[str, Any]:
+        """The replicated attribute dict for a new message item."""
+        return {
+            ATTR_KIND: KIND_MESSAGE,
+            ATTR_SOURCE: source,
+            ATTR_DESTINATION: destination,
+            ATTR_CREATED_AT: created_at,
+        }
+
+    @property
+    def destinations(self) -> tuple:
+        """All destination addresses (one for unicast, several for multicast)."""
+        if isinstance(self.destination, str):
+            return (self.destination,)
+        return tuple(self.destination)
+
+    @property
+    def is_multicast(self) -> bool:
+        return not isinstance(self.destination, str)
+
+    @classmethod
+    def multicast_attributes_for(
+        cls, source: str, destinations, created_at: float
+    ) -> Dict[str, Any]:
+        """Attribute dict for a message with a *set* of recipients.
+
+        The paper's DTNs "deliver a message from a sender to a specific
+        recipient or possibly a set of recipients"; a multicast item's
+        destination attribute is a tuple and matches every recipient's
+        filter.
+        """
+        recipients = tuple(dict.fromkeys(destinations))  # dedupe, keep order
+        if not recipients:
+            raise ValueError("multicast needs at least one destination")
+        return {
+            ATTR_KIND: KIND_MESSAGE,
+            ATTR_SOURCE: source,
+            ATTR_DESTINATION: recipients,
+            ATTR_CREATED_AT: created_at,
+        }
+
+    @classmethod
+    def from_item(cls, item: Item) -> Optional["Message"]:
+        """Decode an item into a message; None for non-message items."""
+        if item.deleted or item.attribute(ATTR_KIND, KIND_MESSAGE) != KIND_MESSAGE:
+            return None
+        source = item.attribute(ATTR_SOURCE)
+        destination = item.attribute(ATTR_DESTINATION)
+        if not isinstance(source, str):
+            return None
+        if not isinstance(destination, str):
+            if not isinstance(destination, (tuple, list)) or not destination:
+                return None
+            destination = tuple(destination)
+        return cls(
+            message_id=item.item_id,
+            source=source,
+            destination=destination,
+            body=item.payload,
+            created_at=float(item.attribute(ATTR_CREATED_AT, 0.0)),
+        )

@@ -1,0 +1,171 @@
+"""Peer-to-peer filtered replication (PFR) substrate.
+
+This package is a from-scratch Python implementation of the externally
+visible behaviour of Cimbiosys (Ramasubramanian et al., NSDI'09) as used by
+"Peer-to-peer Data Replication Meets Delay Tolerant Networking"
+(ICDCS 2011): versioned items, content-based filters, version-vector
+knowledge, pairwise synchronisation with eventual filter consistency and
+at-most-once delivery, and the pluggable DTN routing-policy extension from
+Section V of the paper.
+
+Typical use::
+
+    from repro.replication import (
+        Replica, ReplicaId, AddressFilter, SyncEndpoint, perform_encounter,
+    )
+
+    alice = Replica(ReplicaId("alice"), AddressFilter("alice"))
+    bob = Replica(ReplicaId("bob"), AddressFilter("bob"))
+    alice.create_item("hi bob", {"destination": "bob"})
+    perform_encounter(SyncEndpoint(alice), SyncEndpoint(bob))
+    assert any(i.payload == "hi bob" for i in bob.stored_items())
+"""
+
+from .codec import (
+    CodecError,
+    decode_batch,
+    decode_filter,
+    decode_item,
+    decode_knowledge,
+    decode_sync_request,
+    encode_batch,
+    encode_filter,
+    encode_item,
+    encode_knowledge,
+    encode_sync_request,
+    knowledge_wire_size,
+    register_routing_codec,
+    wire_size,
+)
+from .hierarchy import FilterTree, PushUpPolicy
+from .persistence import (
+    load_replica,
+    replica_from_state,
+    replica_to_state,
+    save_replica,
+)
+from .errors import (
+    DuplicateDeliveryError,
+    InvalidFilterError,
+    PolicyError,
+    ReplicationError,
+    SyncProtocolError,
+    UnknownItemError,
+)
+from .events import BaseReplicaObserver, ObserverList, ReplicaObserver
+from .filters import (
+    AddressFilter,
+    AllFilter,
+    AndFilter,
+    AttributeFilter,
+    Filter,
+    MultiAddressFilter,
+    NotFilter,
+    NothingFilter,
+    OrFilter,
+    validate_host_filter,
+)
+from .ids import IdFactory, ItemId, ReplicaId, Version
+from .items import (
+    ATTR_CREATED_AT,
+    ATTR_DESTINATION,
+    ATTR_KIND,
+    ATTR_SOURCE,
+    KIND_ACK,
+    KIND_MESSAGE,
+    KIND_TOMBSTONE,
+    Item,
+)
+from .replica import Replica
+from .routing import (
+    NORMAL_PRIORITY,
+    NullRoutingPolicy,
+    Priority,
+    PriorityClass,
+    RoutingPolicy,
+    SyncContext,
+)
+from .store import ItemStore, RelayStore
+from .sync import (
+    BatchEntry,
+    SyncEndpoint,
+    SyncRequest,
+    SyncStats,
+    build_batch,
+    build_request,
+    perform_encounter,
+    perform_sync,
+)
+from .versions import VersionVector
+
+__all__ = [
+    "ATTR_CREATED_AT",
+    "ATTR_DESTINATION",
+    "ATTR_KIND",
+    "ATTR_SOURCE",
+    "AddressFilter",
+    "AllFilter",
+    "AndFilter",
+    "AttributeFilter",
+    "BaseReplicaObserver",
+    "BatchEntry",
+    "CodecError",
+    "DuplicateDeliveryError",
+    "Filter",
+    "FilterTree",
+    "IdFactory",
+    "InvalidFilterError",
+    "Item",
+    "ItemId",
+    "ItemStore",
+    "KIND_ACK",
+    "KIND_MESSAGE",
+    "KIND_TOMBSTONE",
+    "MultiAddressFilter",
+    "NORMAL_PRIORITY",
+    "NotFilter",
+    "NothingFilter",
+    "NullRoutingPolicy",
+    "ObserverList",
+    "OrFilter",
+    "PolicyError",
+    "Priority",
+    "PushUpPolicy",
+    "PriorityClass",
+    "RelayStore",
+    "Replica",
+    "ReplicaId",
+    "ReplicaObserver",
+    "ReplicationError",
+    "RoutingPolicy",
+    "SyncContext",
+    "SyncEndpoint",
+    "SyncProtocolError",
+    "SyncRequest",
+    "SyncStats",
+    "UnknownItemError",
+    "Version",
+    "VersionVector",
+    "build_batch",
+    "build_request",
+    "decode_batch",
+    "decode_filter",
+    "decode_item",
+    "decode_knowledge",
+    "decode_sync_request",
+    "encode_batch",
+    "encode_filter",
+    "encode_item",
+    "encode_knowledge",
+    "encode_sync_request",
+    "knowledge_wire_size",
+    "load_replica",
+    "perform_encounter",
+    "perform_sync",
+    "register_routing_codec",
+    "replica_from_state",
+    "replica_to_state",
+    "save_replica",
+    "validate_host_filter",
+    "wire_size",
+]

@@ -1,0 +1,308 @@
+"""Wire encoding of protocol objects, with size accounting.
+
+The emulation passes Python objects between replicas directly; a real
+deployment serialises them. This module defines a canonical JSON encoding
+for every protocol object — items, versions, knowledge, sync requests and
+batches — both so the library is deployable over a byte transport and so
+experiments can measure *metadata overhead in bytes* (the paper's
+"compact knowledge" claim is about exactly this: knowledge size grows
+with the number of replicas, not the number of messages).
+
+Encoding rules:
+
+* payloads and attribute values must be JSON-representable (the
+  messaging application only ever uses strings/numbers);
+* host-local attributes are encoded too — they are legitimately carried
+  per-copy on the wire (TTLs, copy budgets, hop lists), they just never
+  replicate as versioned data;
+* knowledge is encoded per authoring replica as ``[prefix, extras...]``,
+  the same compact shape it is stored in.
+
+Routing-policy payloads are open-ended, so the codec has a small registry
+(:func:`register_routing_codec`) mapping a type tag to encode/decode
+functions; the bundled PROPHET and MaxProp states are registered by
+:mod:`repro.dtn.codec`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .errors import ReplicationError
+from .filters import (
+    AddressFilter,
+    AllFilter,
+    AndFilter,
+    AttributeFilter,
+    Filter,
+    MultiAddressFilter,
+    NotFilter,
+    NothingFilter,
+    OrFilter,
+)
+from .ids import ItemId, ReplicaId, Version
+from .items import Item
+from .sync import BatchEntry, SyncRequest
+from .routing import Priority, PriorityClass
+from .versions import VersionVector, _Entry
+
+
+class CodecError(ReplicationError):
+    """A protocol object could not be encoded or decoded."""
+
+
+# -- identifiers -----------------------------------------------------------------
+
+
+def encode_version(version: Version) -> List[Any]:
+    return [version.replica.name, version.counter]
+
+
+def decode_version(data: Any) -> Version:
+    try:
+        name, counter = data
+        return Version(ReplicaId(name), int(counter))
+    except (TypeError, ValueError) as error:
+        raise CodecError(f"bad version encoding: {data!r}") from error
+
+
+def encode_item_id(item_id: ItemId) -> List[Any]:
+    return [item_id.origin.name, item_id.serial]
+
+
+def decode_item_id(data: Any) -> ItemId:
+    try:
+        name, serial = data
+        return ItemId(ReplicaId(name), int(serial))
+    except (TypeError, ValueError) as error:
+        raise CodecError(f"bad item id encoding: {data!r}") from error
+
+
+# -- knowledge --------------------------------------------------------------------
+
+
+def encode_knowledge(vector: VersionVector) -> Dict[str, List[int]]:
+    """Encode as {replica: [prefix, extra, extra, ...]}."""
+    encoded: Dict[str, List[int]] = {}
+    for replica in vector.replicas():
+        entry = vector._entries[replica]
+        if entry.is_empty:
+            continue
+        encoded[replica.name] = [entry.prefix, *sorted(entry.extras)]
+    return encoded
+
+
+def decode_knowledge(data: Any) -> VersionVector:
+    if not isinstance(data, dict):
+        raise CodecError(f"bad knowledge encoding: {data!r}")
+    entries: Dict[ReplicaId, _Entry] = {}
+    for name, shape in data.items():
+        try:
+            prefix, *extras = shape
+            entries[ReplicaId(name)] = _Entry(
+                int(prefix), frozenset(int(e) for e in extras)
+            )
+        except (TypeError, ValueError) as error:
+            raise CodecError(f"bad knowledge entry for {name!r}") from error
+    return VersionVector(entries)
+
+
+# -- filters -----------------------------------------------------------------------
+
+
+def encode_filter(filter_: Filter) -> Dict[str, Any]:
+    if isinstance(filter_, AllFilter):
+        return {"type": "all"}
+    if isinstance(filter_, NothingFilter):
+        return {"type": "nothing"}
+    if isinstance(filter_, AddressFilter):
+        return {"type": "address", "address": filter_.address}
+    if isinstance(filter_, MultiAddressFilter):
+        return {
+            "type": "multi-address",
+            "own": filter_.own_address,
+            "relay": sorted(filter_.relay_addresses),
+        }
+    if isinstance(filter_, AttributeFilter):
+        return {"type": "attribute", "name": filter_.name, "value": filter_.value}
+    if isinstance(filter_, AndFilter):
+        return {"type": "and", "operands": [encode_filter(f) for f in filter_.operands]}
+    if isinstance(filter_, OrFilter):
+        return {"type": "or", "operands": [encode_filter(f) for f in filter_.operands]}
+    if isinstance(filter_, NotFilter):
+        return {"type": "not", "operand": encode_filter(filter_.operand)}
+    raise CodecError(f"cannot encode filter type {type(filter_).__name__}")
+
+
+def decode_filter(data: Any) -> Filter:
+    if not isinstance(data, dict) or "type" not in data:
+        raise CodecError(f"bad filter encoding: {data!r}")
+    kind = data["type"]
+    if kind == "all":
+        return AllFilter()
+    if kind == "nothing":
+        return NothingFilter()
+    if kind == "address":
+        return AddressFilter(data["address"])
+    if kind == "multi-address":
+        return MultiAddressFilter(data["own"], frozenset(data["relay"]))
+    if kind == "attribute":
+        return AttributeFilter(data["name"], data["value"])
+    if kind == "and":
+        return AndFilter(tuple(decode_filter(f) for f in data["operands"]))
+    if kind == "or":
+        return OrFilter(tuple(decode_filter(f) for f in data["operands"]))
+    if kind == "not":
+        return NotFilter(decode_filter(data["operand"]))
+    raise CodecError(f"unknown filter type: {kind!r}")
+
+
+# -- items --------------------------------------------------------------------------
+
+
+def encode_item(item: Item) -> Dict[str, Any]:
+    encoded: Dict[str, Any] = {
+        "id": encode_item_id(item.item_id),
+        "version": encode_version(item.version),
+        "payload": item.payload,
+        "attributes": dict(item.attributes),
+    }
+    if item.local_attributes:
+        encoded["local"] = _encode_local_attributes(item.local_attributes)
+    if item.deleted:
+        encoded["deleted"] = True
+    return encoded
+
+
+def _encode_local_attributes(local: Any) -> Dict[str, Any]:
+    encoded = {}
+    for key, value in dict(local).items():
+        if isinstance(value, tuple):
+            value = list(value)
+        encoded[key] = value
+    return encoded
+
+
+def decode_item(data: Any) -> Item:
+    try:
+        local = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in data.get("local", {}).items()
+        }
+        return Item(
+            item_id=decode_item_id(data["id"]),
+            version=decode_version(data["version"]),
+            payload=data.get("payload"),
+            attributes=data.get("attributes", {}),
+            local_attributes=local,
+            deleted=bool(data.get("deleted", False)),
+        )
+    except (KeyError, TypeError) as error:
+        raise CodecError(f"bad item encoding: {data!r}") from error
+
+
+# -- routing-state registry -------------------------------------------------------------
+
+RoutingEncoder = Callable[[Any], Dict[str, Any]]
+RoutingDecoder = Callable[[Dict[str, Any]], Any]
+
+_ROUTING_CODECS: Dict[str, Tuple[type, RoutingEncoder, RoutingDecoder]] = {}
+
+
+def register_routing_codec(
+    tag: str, state_type: type, encoder: RoutingEncoder, decoder: RoutingDecoder
+) -> None:
+    """Register wire encode/decode functions for a routing-state type."""
+    _ROUTING_CODECS[tag] = (state_type, encoder, decoder)
+
+
+def encode_routing_state(state: Any) -> Optional[Dict[str, Any]]:
+    if state is None:
+        return None
+    for tag, (state_type, encoder, _) in _ROUTING_CODECS.items():
+        if isinstance(state, state_type):
+            return {"tag": tag, "state": encoder(state)}
+    raise CodecError(
+        f"no routing codec registered for {type(state).__name__}; "
+        "call register_routing_codec"
+    )
+
+
+def decode_routing_state(data: Any) -> Any:
+    if data is None:
+        return None
+    try:
+        tag, payload = data["tag"], data["state"]
+    except (KeyError, TypeError) as error:
+        raise CodecError(f"bad routing-state encoding: {data!r}") from error
+    try:
+        _, _, decoder = _ROUTING_CODECS[tag]
+    except KeyError:
+        raise CodecError(f"unknown routing-state tag: {tag!r}") from None
+    return decoder(payload)
+
+
+# -- protocol messages ---------------------------------------------------------------------
+
+
+def encode_sync_request(request: SyncRequest) -> Dict[str, Any]:
+    return {
+        "target": request.target_id.name,
+        "knowledge": encode_knowledge(request.knowledge),
+        "filter": encode_filter(request.filter),
+        "routing": encode_routing_state(request.routing_state),
+    }
+
+
+def decode_sync_request(data: Any) -> SyncRequest:
+    try:
+        return SyncRequest(
+            target_id=ReplicaId(data["target"]),
+            knowledge=decode_knowledge(data["knowledge"]),
+            filter=decode_filter(data["filter"]),
+            routing_state=decode_routing_state(data.get("routing")),
+        )
+    except (KeyError, TypeError) as error:
+        raise CodecError(f"bad sync request encoding: {data!r}") from error
+
+
+def encode_batch(batch: List[BatchEntry]) -> List[Dict[str, Any]]:
+    return [
+        {
+            "item": encode_item(entry.item),
+            "matched": entry.matched_filter,
+            "priority": [int(entry.priority.class_), entry.priority.cost],
+        }
+        for entry in batch
+    ]
+
+
+def decode_batch(data: Any) -> List[BatchEntry]:
+    entries = []
+    for element in data:
+        try:
+            class_value, cost = element["priority"]
+            entries.append(
+                BatchEntry(
+                    item=decode_item(element["item"]),
+                    matched_filter=bool(element["matched"]),
+                    priority=Priority(PriorityClass(class_value), float(cost)),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CodecError(f"bad batch entry: {element!r}") from error
+    return entries
+
+
+# -- size accounting -----------------------------------------------------------------------
+
+
+def wire_size(encoded: Any) -> int:
+    """Size in bytes of an encoded object on the wire (compact JSON)."""
+    return len(json.dumps(encoded, separators=(",", ":"), sort_keys=True).encode())
+
+
+def knowledge_wire_size(vector: VersionVector) -> int:
+    """Bytes a replica's knowledge occupies in a sync request."""
+    return wire_size(encode_knowledge(vector))

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the replication substrate.
+
+All errors raised by :mod:`repro.replication` derive from
+:class:`ReplicationError`, so callers can catch substrate failures with a
+single ``except`` clause while still being able to distinguish specific
+failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReplicationError(Exception):
+    """Base class for all replication-substrate errors."""
+
+
+class UnknownItemError(ReplicationError, KeyError):
+    """An operation referenced an item id that the store does not hold."""
+
+    def __init__(self, item_id: object) -> None:
+        super().__init__(f"unknown item: {item_id!r}")
+        self.item_id = item_id
+
+
+class DuplicateDeliveryError(ReplicationError):
+    """A sync attempted to deliver a version the target already knows.
+
+    This error indicates a protocol bug: the knowledge exchange at the start
+    of a sync is supposed to filter such versions out at the source.
+    """
+
+
+class InvalidFilterError(ReplicationError):
+    """A filter definition was structurally invalid (e.g. empty address set)."""
+
+
+class SyncProtocolError(ReplicationError):
+    """The pairwise synchronisation protocol was driven out of order."""
+
+
+class PolicyError(ReplicationError):
+    """A DTN routing policy misbehaved (bad priority, bad request payload)."""

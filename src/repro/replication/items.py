@@ -1,0 +1,141 @@
+"""Replicated items and their metadata.
+
+An :class:`Item` is the replication unit. It carries:
+
+* an :class:`~repro.replication.ids.ItemId` (stable across versions),
+* a :class:`~repro.replication.ids.Version` (changes on every update),
+* an opaque ``payload`` (the message body, in the DTN application),
+* ``attributes`` — *replicated* metadata that travels with the item and is
+  visible to filters (destination address, source address, timestamps…),
+* ``local_attributes`` — *host-specific* metadata that is **not** replicated
+  and does not bump the version (e.g. Epidemic's TTL, Spray-and-Wait's copy
+  budget). Section V-A of the paper calls these "transient metadata
+  associated with a specific copy of a message"; updating them must not make
+  the item look like a new version during subsequent syncs.
+
+Items are value objects from the protocol's point of view but expose an
+explicit :meth:`Item.with_local` so policies can adjust per-copy state
+without version churn, mirroring Cimbiosys's internal no-new-version update
+interface that the paper relies on for Spray and Wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping
+
+from .ids import ItemId, Version
+
+#: Reserved attribute names used by the messaging application. Policies and
+#: applications may add their own attributes freely; these are the ones the
+#: substrate and bundled policies know about.
+ATTR_SOURCE = "source"
+ATTR_DESTINATION = "destination"
+ATTR_CREATED_AT = "created_at"
+ATTR_KIND = "kind"
+
+#: ``kind`` values with substrate-level meaning.
+KIND_MESSAGE = "message"
+KIND_ACK = "ack"
+KIND_TOMBSTONE = "tombstone"
+
+
+@dataclass(frozen=True)
+class Item:
+    """One version of one replicated item.
+
+    Instances are immutable; updates produce new instances. Equality and
+    hashing consider only ``(item_id, version)`` — two copies of the same
+    version on different hosts are "the same item" even if their host-local
+    attributes differ, which is exactly the semantics at-most-once delivery
+    needs.
+    """
+
+    item_id: ItemId
+    version: Version
+    payload: Any = None
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    local_attributes: Mapping[str, Any] = field(default_factory=dict)
+    deleted: bool = False
+
+    def __post_init__(self) -> None:
+        # Freeze the mapping views so accidental aliasing cannot mutate a
+        # stored item; dataclass(frozen=True) only protects the bindings.
+        object.__setattr__(self, "attributes", dict(self.attributes))
+        object.__setattr__(self, "local_attributes", dict(self.local_attributes))
+
+    # -- identity ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Item):
+            return NotImplemented
+        return self.item_id == other.item_id and self.version == other.version
+
+    def __hash__(self) -> int:
+        return hash((self.item_id, self.version))
+
+    # -- attribute access ---------------------------------------------------------
+
+    def attribute(self, name: str, default: Any = None) -> Any:
+        """Read a replicated attribute."""
+        return self.attributes.get(name, default)
+
+    def local(self, name: str, default: Any = None) -> Any:
+        """Read a host-local (non-replicated) attribute."""
+        return self.local_attributes.get(name, default)
+
+    @property
+    def source(self) -> Any:
+        return self.attributes.get(ATTR_SOURCE)
+
+    @property
+    def destination(self) -> Any:
+        return self.attributes.get(ATTR_DESTINATION)
+
+    @property
+    def kind(self) -> str:
+        return self.attributes.get(ATTR_KIND, KIND_MESSAGE)
+
+    # -- derivation ---------------------------------------------------------------
+
+    def with_version(self, version: Version, **changes: Any) -> "Item":
+        """A new version of this item (a replicated update)."""
+        return replace(self, version=version, **changes)
+
+    def with_local(self, **local_changes: Any) -> "Item":
+        """Same version, adjusted host-local attributes.
+
+        This is the no-new-version update path: the result compares equal to
+        the original, so knowledge and sync behaviour are unaffected.
+        """
+        merged: Dict[str, Any] = dict(self.local_attributes)
+        for key, value in local_changes.items():
+            if value is None:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        return replace(self, local_attributes=merged)
+
+    def without_local(self) -> "Item":
+        """A copy stripped of host-local attributes, as sent on the wire.
+
+        Host-local metadata must never replicate; the sync layer calls this
+        before handing an item to the transport (policies may then attach
+        fresh per-copy state for the receiving host, e.g. a decremented TTL).
+        """
+        if not self.local_attributes:
+            return self
+        return replace(self, local_attributes={})
+
+    def as_tombstone(self, version: Version) -> "Item":
+        """A deletion marker for this item.
+
+        Tombstones replicate like ordinary updates so that deletions reach
+        every interested replica (the paper's "destination deletes the item,
+        causing it to be discarded by forwarding nodes").
+        """
+        return replace(self, version=version, payload=None, deleted=True)
+
+    def __repr__(self) -> str:
+        flags = " deleted" if self.deleted else ""
+        return f"Item({self.item_id}@{self.version}{flags})"

@@ -1,0 +1,226 @@
+"""Item storage for a replica: the in-filter store and the relay store.
+
+A replica holds items in two logical stores:
+
+* The **item store** holds items matching the replica's filter — the data
+  the host actually wants (its own mail, plus relay addresses it opted
+  into via a multi-address filter).
+* The **relay store** (the generalisation of Cimbiosys's *push-out store*)
+  holds items that do *not* match the filter but that a DTN routing policy
+  decided this host should carry on behalf of others. Section IV-C of the
+  paper extends Cimbiosys's push-out mechanism to exactly this use.
+
+Keeping the stores separate matters for the evaluation: the Figure 10
+storage constraint caps only relayed messages ("excluding messages for
+which the node itself is the sender or the destination"), and the FIFO
+eviction it prescribes applies to the relay store alone.
+
+Both stores index items by :class:`~repro.replication.ids.ItemId` and hold
+exactly one (the latest known) version per id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from .errors import UnknownItemError
+from .ids import ItemId
+from .items import Item
+
+#: Callback invoked when the relay store evicts an item under pressure.
+EvictionCallback = Callable[[Item], None]
+
+
+class ItemStore:
+    """A keyed store of the latest known version of each item.
+
+    Insertion order is preserved (Python dicts are ordered), which the relay
+    store's FIFO eviction relies on.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: Dict[ItemId, Item] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item_id: ItemId) -> bool:
+        return item_id in self._items
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(list(self._items.values()))
+
+    def get(self, item_id: ItemId) -> Optional[Item]:
+        return self._items.get(item_id)
+
+    def require(self, item_id: ItemId) -> Item:
+        item = self._items.get(item_id)
+        if item is None:
+            raise UnknownItemError(item_id)
+        return item
+
+    def put(self, item: Item) -> None:
+        """Insert or replace the stored version of ``item``.
+
+        Replacing re-inserts at the end of iteration order: a *newer
+        version* of a relayed message counts as fresh arrival for FIFO
+        purposes.
+        """
+        self._items.pop(item.item_id, None)
+        self._items[item.item_id] = item
+
+    def update_in_place(self, item: Item) -> None:
+        """Replace a stored item without touching its FIFO position.
+
+        Used for host-local attribute adjustments (TTL decrements, copy
+        halving) which must not look like fresh arrivals.
+        """
+        if item.item_id not in self._items:
+            raise UnknownItemError(item.item_id)
+        self._items[item.item_id] = item
+
+    def remove(self, item_id: ItemId) -> Item:
+        item = self._items.pop(item_id, None)
+        if item is None:
+            raise UnknownItemError(item_id)
+        return item
+
+    def discard(self, item_id: ItemId) -> Optional[Item]:
+        return self._items.pop(item_id, None)
+
+    def oldest(self) -> Optional[Item]:
+        """The item at the front of insertion order (FIFO eviction victim)."""
+        for item in self._items.values():
+            return item
+        return None
+
+    def items(self) -> List[Item]:
+        """A snapshot list of stored items in insertion order."""
+        return list(self._items.values())
+
+    def clear(self) -> None:
+        self._items.clear()
+
+
+#: An eviction strategy picks the victim among currently stored items.
+EvictionStrategy = Callable[[List[Item]], Item]
+
+
+def evict_fifo(items: List[Item]) -> Item:
+    """Drop the item that arrived first (the paper's Figure 10 policy)."""
+    return items[0]
+
+
+def evict_random(items: List[Item]) -> Item:
+    """Drop a deterministic pseudo-random victim (seeded by store contents).
+
+    Randomised buffer management is a common DTN baseline; this variant
+    hashes the candidate ids so runs stay reproducible without threading
+    an RNG through the store.
+    """
+    index = hash(tuple(str(item.item_id) for item in items)) % len(items)
+    return items[index]
+
+
+def evict_oldest_created(items: List[Item]) -> Item:
+    """Drop the message created longest ago (by ``created_at`` attribute).
+
+    Old messages have had the most delivery opportunities already; many
+    DTN buffer studies prefer evicting them over recent arrivals. Items
+    without a creation timestamp count as oldest.
+    """
+    return min(
+        items,
+        key=lambda item: (
+            float(item.attribute("created_at", float("-inf"))),
+            str(item.item_id),
+        ),
+    )
+
+
+EVICTION_STRATEGIES = {
+    "fifo": evict_fifo,
+    "random": evict_random,
+    "oldest-created": evict_oldest_created,
+}
+
+
+@dataclass
+class RelayStore:
+    """The out-of-filter store, optionally capacity-bounded with eviction.
+
+    ``capacity`` of ``None`` means unbounded (the paper's default runs).
+    When a put would exceed capacity, ``strategy`` picks a victim among
+    the stored items (FIFO by default — the paper's Figure 10 policy) and
+    ``on_evict`` (if set) is told, so the emulation can count drops. A
+    capacity of 0 disables relaying entirely. ``strategy`` accepts a
+    name from :data:`EVICTION_STRATEGIES` or any callable mapping the
+    stored-item list to the victim.
+    """
+
+    capacity: Optional[int] = None
+    on_evict: Optional[EvictionCallback] = None
+    strategy: Union[str, EvictionStrategy] = "fifo"
+    _store: ItemStore = field(default_factory=ItemStore, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 0:
+            raise ValueError("relay store capacity must be >= 0 or None")
+        if isinstance(self.strategy, str):
+            try:
+                self.strategy = EVICTION_STRATEGIES[self.strategy]
+            except KeyError:
+                raise ValueError(
+                    f"unknown eviction strategy {self.strategy!r}; "
+                    f"known: {', '.join(sorted(EVICTION_STRATEGIES))}"
+                ) from None
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, item_id: ItemId) -> bool:
+        return item_id in self._store
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._store)
+
+    def get(self, item_id: ItemId) -> Optional[Item]:
+        return self._store.get(item_id)
+
+    def put(self, item: Item) -> bool:
+        """Store a relayed item, evicting FIFO if needed.
+
+        Returns ``True`` if the item ended up stored, ``False`` if capacity
+        is zero (nothing can be relayed).
+        """
+        if self.capacity == 0:
+            return False
+        already_held = item.item_id in self._store
+        if (
+            self.capacity is not None
+            and not already_held
+            and len(self._store) >= self.capacity
+        ):
+            candidates = self._store.items()
+            if candidates:
+                victim = self.strategy(candidates)  # type: ignore[operator]
+                self._store.remove(victim.item_id)
+                if self.on_evict is not None:
+                    self.on_evict(victim)
+        self._store.put(item)
+        return True
+
+    def update_in_place(self, item: Item) -> None:
+        self._store.update_in_place(item)
+
+    def discard(self, item_id: ItemId) -> Optional[Item]:
+        return self._store.discard(item_id)
+
+    def items(self) -> List[Item]:
+        return self._store.items()
+
+    def clear(self) -> None:
+        self._store.clear()

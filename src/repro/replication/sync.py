@@ -1,0 +1,231 @@
+"""The pairwise synchronisation protocol, with DTN policy hook points.
+
+This implements the paper's Figure 4 flow::
+
+    Target node:
+        routingState = DTN.generateReq()
+        send knowledge, filter, and routingState to source
+        for each item received:
+            add item to local store
+            update knowledge
+
+    Source node:
+        receive knowledge, filter, and routingState
+        DTN.processReq(routingState)
+        for each item in local store:
+            if item unknown to target:
+                if item matches filter or DTN.toSend(item):
+                    add item to batch
+        sort batch by priority
+        send batch to target
+
+The *target* is the initiator (it asks "bring me up to date"); the *source*
+is the responder that pushes items. One real-world **encounter** between
+two hosts runs two syncs, alternating roles, which
+:func:`perform_encounter` packages.
+
+Bandwidth constraints (Figure 9) are modelled as a cap on the number of
+items transferred; because the batch is priority-sorted before truncation,
+constrained syncs send the most valuable items first, exactly the situation
+MaxProp's ordering is designed for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from .errors import PolicyError
+from .filters import Filter
+from .ids import ReplicaId
+from .items import Item
+from .replica import Replica
+from .routing import (
+    NullRoutingPolicy,
+    Priority,
+    PriorityClass,
+    RoutingPolicy,
+    SyncContext,
+)
+from .versions import VersionVector
+
+
+@dataclass
+class SyncEndpoint:
+    """A replica paired with its routing policy, as seen by the sync engine."""
+
+    replica: Replica
+    policy: RoutingPolicy = field(default_factory=NullRoutingPolicy)
+
+    @property
+    def replica_id(self) -> ReplicaId:
+        return self.replica.replica_id
+
+
+@dataclass
+class SyncRequest:
+    """What the target sends to open a sync: knowledge, filter, routing state."""
+
+    target_id: ReplicaId
+    knowledge: VersionVector
+    filter: Filter
+    routing_state: Any = None
+
+
+@dataclass
+class BatchEntry:
+    """One item scheduled for transmission, with its priority."""
+
+    item: Item
+    matched_filter: bool
+    priority: Priority
+
+
+@dataclass
+class SyncStats:
+    """Counters describing one sync session, consumed by the metrics layer."""
+
+    source: ReplicaId
+    target: ReplicaId
+    candidates: int = 0
+    sent_total: int = 0
+    sent_matching: int = 0
+    sent_relayed: int = 0
+    truncated: int = 0
+    delivered_items: List[Item] = field(default_factory=list)
+
+    @property
+    def transmissions(self) -> int:
+        return self.sent_total
+
+
+def build_request(target: SyncEndpoint, context: SyncContext) -> SyncRequest:
+    """Target side, step 1: snapshot knowledge + filter, add routing state."""
+    routing_state = target.policy.generate_req(context)
+    return SyncRequest(
+        target_id=target.replica_id,
+        knowledge=target.replica.knowledge.copy(),
+        filter=target.replica.filter,
+        routing_state=routing_state,
+    )
+
+
+def build_batch(
+    source: SyncEndpoint,
+    request: SyncRequest,
+    context: SyncContext,
+    max_items: Optional[int] = None,
+) -> Tuple[List[BatchEntry], SyncStats]:
+    """Source side: select, prioritise, order, and truncate the batch.
+
+    Items matching the target's filter are always included, at
+    :attr:`PriorityClass.FILTER_MATCH`; for each remaining unknown item the
+    policy's ``to_send`` is consulted. The final batch is sorted by
+    priority (stable, so equal priorities keep store order) and truncated
+    to ``max_items`` when a bandwidth cap applies.
+    """
+    stats = SyncStats(source=source.replica_id, target=request.target_id)
+    source.policy.process_req(request.routing_state, context)
+
+    entries: List[BatchEntry] = []
+    for item in source.replica.stored_items():
+        if request.knowledge.contains(item.version):
+            continue
+        stats.candidates += 1
+        if request.filter.matches(item):
+            entries.append(
+                BatchEntry(item, True, Priority(PriorityClass.FILTER_MATCH))
+            )
+        else:
+            priority = source.policy.to_send(item, request.filter, context)
+            if priority is None:
+                continue
+            if not isinstance(priority, Priority):
+                raise PolicyError(
+                    f"{source.policy.name}.to_send must return a Priority "
+                    f"or None, got {type(priority).__name__}"
+                )
+            entries.append(BatchEntry(item, False, priority))
+
+    entries.sort(key=lambda entry: entry.priority.sort_key())
+    if max_items is not None and len(entries) > max_items:
+        stats.truncated = len(entries) - max_items
+        entries = entries[:max_items]
+
+    prepared = [
+        BatchEntry(
+            source.policy.prepare_outgoing(entry.item, context),
+            entry.matched_filter,
+            entry.priority,
+        )
+        for entry in entries
+    ]
+    source.policy.on_items_sent([entry.item for entry in prepared], context)
+
+    stats.sent_total = len(prepared)
+    stats.sent_matching = sum(1 for entry in prepared if entry.matched_filter)
+    stats.sent_relayed = stats.sent_total - stats.sent_matching
+    return prepared, stats
+
+
+def apply_batch(
+    target: SyncEndpoint, batch: List[BatchEntry], stats: SyncStats
+) -> SyncStats:
+    """Target side, step 2: store every received item and update knowledge."""
+    for entry in batch:
+        matched = target.replica.apply_remote(entry.item)
+        if matched:
+            stats.delivered_items.append(entry.item)
+    return stats
+
+
+def perform_sync(
+    source: SyncEndpoint,
+    target: SyncEndpoint,
+    now: float = 0.0,
+    max_items: Optional[int] = None,
+) -> SyncStats:
+    """Run one complete sync session: ``target`` pulls from ``source``."""
+    target_context = SyncContext(
+        local=target.replica_id, remote=source.replica_id, now=now
+    )
+    source_context = SyncContext(
+        local=source.replica_id, remote=target.replica_id, now=now
+    )
+    request = build_request(target, target_context)
+    batch, stats = build_batch(source, request, source_context, max_items=max_items)
+    return apply_batch(target, batch, stats)
+
+
+def perform_encounter(
+    first: SyncEndpoint,
+    second: SyncEndpoint,
+    now: float = 0.0,
+    max_items_per_encounter: Optional[int] = None,
+) -> List[SyncStats]:
+    """Run one encounter: two syncs with alternating source/target roles.
+
+    This follows the paper's experimental setup ("we performed two syncs
+    between the corresponding replicas, alternating the source and target
+    roles"). Policy ``on_encounter_start`` hooks fire once per side before
+    either sync, so per-meeting state updates happen exactly once.
+
+    ``max_items_per_encounter`` is the Figure 9 bandwidth constraint: a
+    budget on total items moved across both syncs. The first sync (with
+    ``first`` as source) consumes budget before the second.
+    """
+    first_context = SyncContext(
+        local=first.replica_id, remote=second.replica_id, now=now
+    )
+    second_context = SyncContext(
+        local=second.replica_id, remote=first.replica_id, now=now
+    )
+    first.policy.on_encounter_start(first_context)
+    second.policy.on_encounter_start(second_context)
+
+    budget = max_items_per_encounter
+    stats_a = perform_sync(source=first, target=second, now=now, max_items=budget)
+    if budget is not None:
+        budget = max(0, budget - stats_a.sent_total)
+    stats_b = perform_sync(source=second, target=first, now=now, max_items=budget)
+    return [stats_a, stats_b]

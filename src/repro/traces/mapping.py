@@ -1,0 +1,65 @@
+"""Daily user → bus assignment (Section VI-A of the paper).
+
+"For each day in our experimental run, the experiment uniformly distributes
+e-mail users to the buses scheduled on that day." This module implements
+that distribution deterministically: for every day of the trace, the user
+population is shuffled with a day-specific seeded RNG and dealt round-robin
+over the buses active that day, so each bus hosts ⌈U/B⌉ or ⌊U/B⌋ users.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Mapping, Sequence
+
+from repro.emulation.encounters import EncounterTrace
+
+AssignmentSchedule = Dict[int, Dict[str, FrozenSet[str]]]
+
+
+def assign_users_daily(
+    trace: EncounterTrace,
+    users: Sequence[str],
+    seed: int = 0,
+) -> AssignmentSchedule:
+    """Build the day → bus → hosted-users schedule for a whole trace.
+
+    Days with no active buses get no entry (no one rides). The same
+    ``(seed, day)`` always produces the same assignment regardless of which
+    other days exist, so sub-traces stay consistent with full traces.
+    """
+    schedule: AssignmentSchedule = {}
+    active_by_day = trace.active_hosts_by_day()
+    for day in sorted(active_by_day):
+        buses = sorted(active_by_day[day])
+        if not buses:
+            continue
+        rng = random.Random(f"{seed}:{day}")
+        shuffled = list(users)
+        rng.shuffle(shuffled)
+        per_bus: Dict[str, set] = {bus: set() for bus in buses}
+        for index, user in enumerate(shuffled):
+            per_bus[buses[index % len(buses)]].add(user)
+        schedule[day] = {bus: frozenset(assigned) for bus, assigned in per_bus.items()}
+    return schedule
+
+
+def users_on_day(
+    schedule: Mapping[int, Mapping[str, FrozenSet[str]]], day: int
+) -> FrozenSet[str]:
+    """Every user riding some bus on ``day``."""
+    day_map = schedule.get(day, {})
+    riders: set = set()
+    for assigned in day_map.values():
+        riders |= assigned
+    return frozenset(riders)
+
+
+def host_of(
+    schedule: Mapping[int, Mapping[str, FrozenSet[str]]], day: int, user: str
+) -> str | None:
+    """The bus hosting ``user`` on ``day`` (None if not riding)."""
+    for bus, assigned in schedule.get(day, {}).items():
+        if user in assigned:
+            return bus
+    return None

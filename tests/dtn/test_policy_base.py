@@ -1,0 +1,68 @@
+"""Unit tests for the DTN policy base class and helpers."""
+
+import pytest
+
+from repro.dtn.direct import DirectDeliveryPolicy
+from repro.dtn.policy import filter_addresses
+from repro.replication import (
+    AddressFilter,
+    AllFilter,
+    MultiAddressFilter,
+    Replica,
+    ReplicaId,
+)
+from tests.conftest import make_item
+
+
+class TestFilterAddresses:
+    def test_address_filter(self):
+        assert filter_addresses(AddressFilter("x")) == {"x"}
+
+    def test_multi_address_filter(self):
+        filter_ = MultiAddressFilter("x", frozenset({"y", "z"}))
+        assert filter_addresses(filter_) == {"x", "y", "z"}
+
+    def test_opaque_filter_yields_empty(self):
+        assert filter_addresses(AllFilter()) == frozenset()
+
+
+class TestBinding:
+    def test_unbound_policy_refuses_replica_access(self):
+        policy = DirectDeliveryPolicy()
+        assert not policy.is_bound
+        with pytest.raises(RuntimeError):
+            _ = policy.replica
+
+    def test_bind_returns_self(self):
+        replica = Replica(ReplicaId("n"), AddressFilter("n"))
+        policy = DirectDeliveryPolicy()
+        assert policy.bind(replica) is policy
+        assert policy.is_bound
+        assert policy.replica is replica
+
+    def test_local_addresses_from_provider(self):
+        replica = Replica(ReplicaId("n"), AddressFilter("n"))
+        policy = DirectDeliveryPolicy().bind(
+            replica, lambda: frozenset({"n", "user1"})
+        )
+        assert policy.local_addresses() == {"n", "user1"}
+
+    def test_local_addresses_falls_back_to_filter(self):
+        replica = Replica(ReplicaId("n"), MultiAddressFilter("n", {"m"}))
+        policy = DirectDeliveryPolicy().bind(replica)
+        assert policy.local_addresses() == {"n", "m"}
+
+
+class TestHelpers:
+    def test_is_routable_message(self):
+        assert DirectDeliveryPolicy.is_routable_message(make_item())
+
+    def test_tombstones_not_routable(self):
+        from repro.replication.ids import ReplicaId as RId, Version
+
+        tombstone = make_item().as_tombstone(Version(RId("x"), 5))
+        assert not DirectDeliveryPolicy.is_routable_message(tombstone)
+
+    def test_acks_not_routable(self):
+        ack = make_item(kind="ack")
+        assert not DirectDeliveryPolicy.is_routable_message(ack)

@@ -1,0 +1,98 @@
+"""Tests for routing-policy persistent state (paper §V-A requirement 1)."""
+
+import json
+
+import pytest
+
+from repro.dtn import (
+    EpidemicPolicy,
+    MaxPropPolicy,
+    MaxPropRequest,
+    ProphetPolicy,
+    ProphetRequest,
+    SprayAndWaitPolicy,
+)
+from repro.replication import AddressFilter, Replica, ReplicaId, SyncContext
+from repro.replication.ids import ItemId
+
+
+def ctx(now=0.0):
+    return SyncContext(ReplicaId("a"), ReplicaId("b"), now)
+
+
+def bound(policy_cls, name="a", **kwargs):
+    replica = Replica(ReplicaId(name), AddressFilter(name))
+    return replica, policy_cls(**kwargs).bind(replica, lambda: frozenset({name}))
+
+
+class TestDefaults:
+    @pytest.mark.parametrize("policy_cls", [EpidemicPolicy, SprayAndWaitPolicy])
+    def test_item_state_policies_have_empty_state(self, policy_cls):
+        _, policy = bound(policy_cls)
+        assert policy.persistent_state() == {}
+        policy.restore_state({})  # must not raise
+
+
+class TestProphet:
+    def test_roundtrip_preserves_predictabilities(self):
+        _, policy = bound(ProphetPolicy)
+        policy.process_req(
+            ProphetRequest(
+                addresses=frozenset({"b"}), predictabilities={"c": 0.6}
+            ),
+            ctx(now=3600.0),
+        )
+        state = json.loads(json.dumps(policy.persistent_state()))
+
+        _, reborn = bound(ProphetPolicy)
+        reborn.restore_state(state)
+        assert reborn.predictabilities == pytest.approx(policy.predictabilities)
+
+    def test_restored_aging_clock_continues(self):
+        _, policy = bound(ProphetPolicy)
+        policy.process_req(
+            ProphetRequest(addresses=frozenset({"b"})), ctx(now=7200.0)
+        )
+        state = policy.persistent_state()
+        _, reborn = bound(ProphetPolicy)
+        reborn.restore_state(state)
+        before = reborn.predictability("b")
+        reborn.age(now=7200.0)  # same instant: no decay
+        assert reborn.predictability("b") == before
+        reborn.age(now=7200.0 + 10 * 3600.0)
+        assert reborn.predictability("b") < before
+
+
+class TestMaxProp:
+    def make_populated(self):
+        replica, policy = bound(MaxPropPolicy)
+        policy.process_req(
+            MaxPropRequest(
+                node="b",
+                addresses=frozenset({"b"}),
+                vectors={"b": {"c": 1.0}},
+                locations={"user1": ("b", 5.0)},
+                acks=frozenset({ItemId(ReplicaId("x"), 1)}),
+            ),
+            ctx(),
+        )
+        return replica, policy
+
+    def test_roundtrip_preserves_everything(self):
+        _, policy = self.make_populated()
+        state = json.loads(json.dumps(policy.persistent_state()))
+        _, reborn = bound(MaxPropPolicy)
+        reborn.restore_state(state)
+        assert reborn.meeting_counts == policy.meeting_counts
+        assert reborn.known_vectors == policy.known_vectors
+        assert reborn.locations == policy.locations
+        assert reborn.acks == policy.acks
+
+    def test_restored_policy_computes_same_costs(self):
+        _, policy = self.make_populated()
+        _, reborn = bound(MaxPropPolicy)
+        reborn.restore_state(policy.persistent_state())
+        assert reborn.path_cost_to_node("c") == policy.path_cost_to_node("c")
+        assert reborn.path_cost_to_address("user1") == policy.path_cost_to_address(
+            "user1"
+        )

@@ -1,0 +1,96 @@
+"""Unit tests for encounters and encounter traces."""
+
+import pytest
+
+from repro.emulation.encounters import SECONDS_PER_DAY, Encounter, EncounterTrace
+
+
+def enc(day, hour, a, b):
+    return Encounter(day * SECONDS_PER_DAY + hour * 3600.0, a, b)
+
+
+class TestEncounter:
+    def test_rejects_self_encounter(self):
+        with pytest.raises(ValueError):
+            Encounter(0.0, "a", "a")
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            Encounter(-1.0, "a", "b")
+
+    def test_day_derivation(self):
+        assert enc(3, 9, "a", "b").day == 3
+
+    def test_pair_is_canonical(self):
+        assert Encounter(0.0, "b", "a").pair == ("a", "b")
+        assert Encounter(0.0, "a", "b").pair == ("a", "b")
+
+
+class TestEncounterTrace:
+    def make_trace(self):
+        return EncounterTrace(
+            [
+                enc(1, 10, "c", "a"),
+                enc(0, 9, "a", "b"),
+                enc(0, 12, "b", "c"),
+                enc(0, 9, "a", "b"),
+            ]
+        )
+
+    def test_sorted_by_time(self):
+        trace = self.make_trace()
+        times = [encounter.time for encounter in trace]
+        assert times == sorted(times)
+
+    def test_len_and_indexing(self):
+        trace = self.make_trace()
+        assert len(trace) == 4
+        assert trace[0].day == 0
+
+    def test_hosts(self):
+        assert self.make_trace().hosts == {"a", "b", "c"}
+
+    def test_days(self):
+        assert self.make_trace().days == (0, 1)
+
+    def test_duration_covers_last_day(self):
+        assert self.make_trace().duration == 2 * SECONDS_PER_DAY
+
+    def test_empty_trace(self):
+        trace = EncounterTrace([])
+        assert trace.duration == 0.0
+        assert trace.hosts == frozenset()
+
+    def test_on_day(self):
+        assert len(self.make_trace().on_day(0)) == 3
+        assert len(self.make_trace().on_day(1)) == 1
+
+    def test_hosts_active_on(self):
+        trace = self.make_trace()
+        assert trace.hosts_active_on(1) == {"a", "c"}
+
+    def test_active_hosts_by_day(self):
+        by_day = self.make_trace().active_hosts_by_day()
+        assert by_day[0] == {"a", "b", "c"}
+        assert by_day[1] == {"a", "c"}
+
+    def test_meeting_counts(self):
+        counts = self.make_trace().meeting_counts()
+        assert counts[("a", "b")] == 2
+        assert counts[("b", "c")] == 1
+
+    def test_meeting_counts_for(self):
+        counts = self.make_trace().meeting_counts_for("a")
+        assert counts == {"b": 2, "c": 1}
+
+    def test_restricted_to(self):
+        restricted = self.make_trace().restricted_to({"a", "b"})
+        assert len(restricted) == 2
+        assert restricted.hosts == {"a", "b"}
+
+    def test_summary(self):
+        summary = self.make_trace().summary()
+        assert summary["encounters"] == 4.0
+        assert summary["hosts"] == 3.0
+        assert summary["days"] == 2.0
+        assert summary["mean_encounters_per_day"] == 2.0

@@ -1,0 +1,116 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.emulation.engine import EventPriority, SimulationEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(5.0, lambda: order.append("late"))
+        engine.schedule(1.0, lambda: order.append("early"))
+        engine.run()
+        assert order == ["early", "late"]
+
+    def test_clock_advances_with_events(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(3.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.0]
+        assert engine.now == 3.0
+
+    def test_same_time_ordered_by_priority(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("enc"), EventPriority.ENCOUNTER)
+        engine.schedule(1.0, lambda: order.append("ctl"), EventPriority.CONTROL)
+        engine.schedule(1.0, lambda: order.append("inj"), EventPriority.INJECT)
+        engine.run()
+        assert order == ["ctl", "inj", "enc"]
+
+    def test_same_time_same_priority_fifo(self):
+        engine = SimulationEngine()
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.schedule(1.0, lambda t=tag: order.append(t))
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule(1.0, lambda: None)
+
+    def test_events_can_schedule_followups(self):
+        engine = SimulationEngine()
+        hits = []
+
+        def recurring():
+            hits.append(engine.now)
+            if engine.now < 3.0:
+                engine.schedule(engine.now + 1.0, recurring)
+
+        engine.schedule(1.0, recurring)
+        engine.run()
+        assert hits == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_events_do_not_run(self):
+        engine = SimulationEngine()
+        hits = []
+        handle = engine.schedule(1.0, lambda: hits.append(1))
+        engine.cancel(handle)
+        engine.run()
+        assert hits == []
+
+
+class TestRunUntil:
+    def test_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        hits = []
+        engine.schedule(1.0, lambda: hits.append(1))
+        engine.schedule(10.0, lambda: hits.append(10))
+        engine.run(until=5.0)
+        assert hits == [1]
+        assert engine.now == 5.0
+        assert engine.pending == 1
+
+    def test_until_advances_clock_past_last_event(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+
+    def test_resume_after_until(self):
+        engine = SimulationEngine()
+        hits = []
+        engine.schedule(10.0, lambda: hits.append(10))
+        engine.run(until=5.0)
+        engine.run()
+        assert hits == [10]
+
+
+class TestStep:
+    def test_step_processes_one_event(self):
+        engine = SimulationEngine()
+        hits = []
+        engine.schedule(1.0, lambda: hits.append("a"))
+        engine.schedule(2.0, lambda: hits.append("b"))
+        assert engine.step()
+        assert hits == ["a"]
+
+    def test_step_on_empty_queue_returns_false(self):
+        assert not SimulationEngine().step()
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda: None)
+        engine.run()
+        assert engine.events_processed == 3

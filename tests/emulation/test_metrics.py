@@ -1,0 +1,101 @@
+"""Unit tests for the metrics collector."""
+
+import math
+
+from repro.emulation.metrics import HOURS, MetricsCollector
+from repro.replication.ids import ItemId, ReplicaId
+from repro.replication.sync import SyncStats
+
+
+def mid(i):
+    return ItemId(ReplicaId("src"), i)
+
+
+def collector_with(deliveries):
+    """deliveries: list of (inject_time, deliver_time_or_None)."""
+    metrics = MetricsCollector()
+    for i, (injected, delivered) in enumerate(deliveries):
+        metrics.record_injection(mid(i), "a", "b", injected, "node")
+        if delivered is not None:
+            metrics.record_delivery(mid(i), delivered, "dst", copies=3)
+    return metrics
+
+
+class TestRecording:
+    def test_delivery_requires_known_injection(self):
+        metrics = MetricsCollector()
+        assert not metrics.record_delivery(mid(0), 1.0, "n", 2)
+
+    def test_first_delivery_wins(self):
+        metrics = collector_with([(0.0, 5.0)])
+        assert not metrics.record_delivery(mid(0), 9.0, "other", 4)
+        assert metrics.records[mid(0)].delivered_at == 5.0
+
+    def test_record_sync_accumulates(self):
+        metrics = MetricsCollector()
+        stats = SyncStats(source=ReplicaId("a"), target=ReplicaId("b"))
+        stats.sent_total, stats.sent_matching, stats.sent_relayed = 5, 2, 3
+        stats.truncated = 1
+        metrics.record_sync(stats)
+        metrics.record_sync(stats)
+        assert metrics.syncs == 2
+        assert metrics.transmissions == 10
+        assert metrics.matching_transmissions == 4
+        assert metrics.relayed_transmissions == 6
+        assert metrics.truncated_transmissions == 2
+
+
+class TestAggregates:
+    def test_delivery_ratio(self):
+        metrics = collector_with([(0.0, 1.0), (0.0, None)])
+        assert metrics.delivery_ratio == 0.5
+        assert metrics.injected == 2
+        assert metrics.delivered == 1
+
+    def test_delays_sorted_and_delivered_only(self):
+        metrics = collector_with([(0.0, 30.0), (0.0, 10.0), (0.0, None)])
+        assert metrics.delays() == [10.0, 30.0]
+
+    def test_mean_delay(self):
+        metrics = collector_with([(0.0, 10.0), (0.0, 30.0)])
+        assert metrics.mean_delay() == 20.0
+        assert metrics.mean_delay_hours() == 20.0 / 3600.0
+
+    def test_mean_delay_none_when_nothing_delivered(self):
+        metrics = collector_with([(0.0, None)])
+        assert metrics.mean_delay() is None
+
+    def test_delay_measured_from_injection(self):
+        metrics = collector_with([(100.0, 150.0)])
+        assert metrics.delays() == [50.0]
+
+    def test_fraction_delivered_within_counts_all_injected(self):
+        metrics = collector_with([(0.0, HOURS), (0.0, 20 * HOURS), (0.0, None)])
+        assert metrics.fraction_delivered_within(12 * HOURS) == 1 / 3
+
+    def test_delay_cdf_is_monotone(self):
+        metrics = collector_with(
+            [(0.0, h * HOURS) for h in (1, 2, 5, 9)] + [(0.0, None)]
+        )
+        cdf = metrics.delay_cdf([h * HOURS for h in range(0, 13)])
+        fractions = [fraction for _, fraction in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 0.8
+
+    def test_copies_averages(self):
+        metrics = collector_with([(0.0, 1.0), (0.0, 2.0)])
+        for record in metrics.records.values():
+            record.copies_at_end = 7
+        assert metrics.mean_copies_at_delivery() == 3.0
+        assert metrics.mean_copies_at_end() == 7.0
+
+    def test_summary_keys_and_nan_handling(self):
+        metrics = collector_with([(0.0, None)])
+        summary = metrics.summary()
+        assert summary["delivered"] == 0.0
+        assert math.isnan(summary["mean_delay_hours"])
+        assert summary["within_12h"] == 0.0
+
+    def test_max_delay(self):
+        metrics = collector_with([(0.0, 10.0), (0.0, 99.0)])
+        assert metrics.max_delay() == 99.0

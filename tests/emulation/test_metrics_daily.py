@@ -1,0 +1,39 @@
+"""Tests for the per-day metric views."""
+
+from repro.emulation.metrics import DAYS, MetricsCollector
+from repro.replication.ids import ItemId, ReplicaId
+
+
+def mid(i):
+    return ItemId(ReplicaId("src"), i)
+
+
+def build():
+    metrics = MetricsCollector()
+    # Day 0: two injections, one delivered same day, one delivered day 2.
+    metrics.record_injection(mid(0), "a", "b", 0.25 * DAYS, "n")
+    metrics.record_delivery(mid(0), 0.5 * DAYS, "m", 2)
+    metrics.record_injection(mid(1), "a", "b", 0.5 * DAYS, "n")
+    metrics.record_delivery(mid(1), 2.5 * DAYS, "m", 2)
+    # Day 1: one injection, never delivered.
+    metrics.record_injection(mid(2), "a", "b", 1.5 * DAYS, "n")
+    return metrics
+
+
+class TestPerDayViews:
+    def test_injections_by_day(self):
+        assert build().injections_by_day() == {0: 2, 1: 1}
+
+    def test_deliveries_by_day(self):
+        assert build().deliveries_by_day() == {0: 1, 2: 1}
+
+    def test_backlog_by_day(self):
+        backlog = build().backlog_by_day()
+        assert backlog == {0: 1, 1: 2, 2: 1}
+
+    def test_backlog_empty_collector(self):
+        assert MetricsCollector().backlog_by_day() == {}
+
+    def test_backlog_never_negative_for_valid_histories(self):
+        backlog = build().backlog_by_day()
+        assert all(value >= 0 for value in backlog.values())

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "warp-drive"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "7"])
+        assert args.which == "7"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "11"])
+
+
+class TestTraceCommand:
+    def test_prints_summary(self, capsys):
+        assert main(["trace", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "encounters" in out
+        assert "hosts" in out
+
+    def test_export_writes_interchange_file(self, tmp_path, capsys):
+        target = tmp_path / "trace.txt"
+        assert main(["trace", "--scale", "0.25", "--export", str(target)]) == 0
+        lines = target.read_text().splitlines()
+        assert lines[0].startswith("#")
+        assert len(lines) > 1
+
+        from repro.traces.dieselnet import parse_trace_text
+
+        trace = parse_trace_text(lines)
+        assert len(trace) == len(lines) - 1
+
+
+class TestRunCommand:
+    def test_runs_baseline(self, capsys):
+        assert main(["run", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "cimbiosys" in out
+        assert "delivery_ratio" in out
+
+    def test_runs_policy_with_constraints(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--policy",
+                    "spray",
+                    "--scale",
+                    "0.25",
+                    "--bandwidth-limit",
+                    "1",
+                    "--storage-limit",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "spray" in out and "bw=1" in out and "store=2" in out
+
+    def test_runs_multiaddress_strategy(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--scale",
+                    "0.25",
+                    "--filter-strategy",
+                    "selected",
+                    "--filter-k",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "selected+2" in capsys.readouterr().out
+
+
+class TestFigureCommand:
+    def test_single_figure(self, capsys):
+        assert main(["figure", "8", "--scale", "0.25"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_output_dir(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "figure",
+                    "8",
+                    "--scale",
+                    "0.25",
+                    "--output-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "fig8.txt").exists()
+
+
+class TestTablesCommand:
+    def test_prints_both_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+        assert "MaxProp" in out and "gamma=0.98" in out
+
+
+class TestFigureAll:
+    def test_all_figures_render_and_persist(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "figure",
+                    "all",
+                    "--scale",
+                    "0.25",
+                    "--output-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        for marker in ("Figure 5", "Figure 6", "Figure 7(a)", "Figure 7(b)",
+                       "Figure 8", "Figure 9", "Figure 10"):
+            assert marker in out
+        for name in ("fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10"):
+            assert (tmp_path / f"{name}.txt").exists()

@@ -1,0 +1,65 @@
+"""Unit tests for the text report renderers."""
+
+from repro.experiments.report import (
+    render_figure_8,
+    render_series_table,
+    render_summary_rows,
+    render_table_1,
+    render_table_2,
+)
+
+
+class TestSeriesTable:
+    def test_renders_all_series_and_points(self):
+        text = render_series_table(
+            "Figure X",
+            "k",
+            {"random": [(0, 70.0), (1, 35.0)], "selected": [(0, 70.0), (1, 30.0)]},
+        )
+        assert "Figure X" in text
+        assert "random" in text and "selected" in text
+        assert "35.00" in text and "30.00" in text
+
+    def test_missing_points_rendered_as_dash(self):
+        text = render_series_table(
+            "t", "x", {"a": [(0, 1.0)], "b": [(1, 2.0)]}
+        )
+        assert "—" in text
+
+    def test_x_values_sorted(self):
+        text = render_series_table("t", "x", {"a": [(5, 1.0), (1, 2.0)]})
+        lines = text.splitlines()
+        assert lines[3].strip().startswith("1")
+
+
+class TestFigure8Renderer:
+    def test_rows_per_policy(self):
+        text = render_figure_8(
+            {"cimbiosys": {"at_delivery": 2.0, "at_end": 2.0}}
+        )
+        assert "cimbiosys" in text
+        assert "2.00" in text
+
+
+class TestTableRenderers:
+    def test_table_1_lists_all_protocols(self):
+        text = render_table_1()
+        for protocol in ("Epidemic", "Spray&Wait", "PROPHET", "MaxProp"):
+            assert protocol in text
+
+    def test_table_2_lists_parameters(self):
+        text = render_table_2()
+        assert "initial_ttl=10" in text
+        assert "gamma=0.98" in text
+
+
+class TestSummaryRows:
+    def test_side_by_side_columns(self):
+        text = render_summary_rows(
+            {
+                "cimbiosys": {"delivery_ratio": 0.9, "mean_delay_hours": 70.0},
+                "epidemic": {"delivery_ratio": 1.0, "mean_delay_hours": 4.0},
+            }
+        )
+        assert "cimbiosys" in text and "epidemic" in text
+        assert "delivery_ratio" in text

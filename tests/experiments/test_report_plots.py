@@ -1,0 +1,39 @@
+"""Tests for the ASCII CDF plot renderer."""
+
+from repro.experiments.report import render_cdf_plot
+
+
+class TestCdfPlot:
+    def test_contains_title_and_series(self):
+        text = render_cdf_plot(
+            "Figure X",
+            "hours",
+            {"epidemic": [(0.0, 0.0), (12.0, 93.0)]},
+        )
+        assert "Figure X" in text
+        assert "epidemic" in text
+        assert "hours=" in text
+
+    def test_bar_lengths_scale_with_values(self):
+        text = render_cdf_plot(
+            "t", "x", {"s": [(1.0, 0.0), (2.0, 50.0), (3.0, 100.0)]}, width=10
+        )
+        lines = [line for line in text.splitlines() if "|" in line]
+        bars = [line.split("|")[1] for line in lines]
+        assert bars[0].count("█") == 0
+        assert bars[1].count("█") == 5
+        assert bars[2].count("█") == 10
+
+    def test_values_clamped_to_range(self):
+        text = render_cdf_plot(
+            "t", "x", {"s": [(1.0, 150.0), (2.0, -5.0)]}, width=10
+        )
+        lines = [line for line in text.splitlines() if "|" in line]
+        assert lines[0].split("|")[1].count("█") == 10
+        assert lines[1].split("|")[1].count("█") == 0
+
+    def test_multiple_series_rendered_in_order(self):
+        text = render_cdf_plot(
+            "t", "x", {"first": [(1.0, 10.0)], "second": [(1.0, 20.0)]}
+        )
+        assert text.index("first") < text.index("second")

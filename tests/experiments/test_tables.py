@@ -1,0 +1,47 @@
+"""Tests that Tables I and II match the paper and the implementation."""
+
+from repro.dtn.registry import TABLE_II_PARAMETERS
+from repro.experiments.tables import (
+    TABLE_I,
+    TABLE_II,
+    TABLE_II_PAPER_VALUES,
+)
+
+
+class TestTableI:
+    def test_four_protocols(self):
+        assert [row.protocol for row in TABLE_I] == [
+            "Epidemic",
+            "Spray&Wait",
+            "PROPHET",
+            "MaxProp",
+        ]
+
+    def test_flooding_protocols_add_nothing_to_requests(self):
+        by_name = {row.protocol: row for row in TABLE_I}
+        assert by_name["Epidemic"].added_to_sync_request == ""
+        assert by_name["Spray&Wait"].added_to_sync_request == ""
+
+    def test_history_protocols_send_their_state(self):
+        by_name = {row.protocol: row for row in TABLE_I}
+        assert "P vector" in by_name["PROPHET"].added_to_sync_request
+        assert "meeting" in by_name["MaxProp"].added_to_sync_request
+
+    def test_forwarding_rules_verbatim(self):
+        rules = {row.protocol: row.source_forwarding_policy for row in TABLE_I}
+        assert rules["Epidemic"] == "When TTL > 0"
+        assert rules["Spray&Wait"] == "When # copies >= 2"
+        assert "P[dest]" in rules["PROPHET"]
+        assert "Dijkstra" in rules["MaxProp"]
+
+
+class TestTableII:
+    def test_registry_matches_paper_values(self):
+        assert TABLE_II == TABLE_II_PAPER_VALUES
+
+    def test_exported_copy_is_detached_from_registry(self):
+        TABLE_II["epidemic"]["initial_ttl"] = 999
+        try:
+            assert TABLE_II_PARAMETERS["epidemic"]["initial_ttl"] == 10
+        finally:
+            TABLE_II["epidemic"]["initial_ttl"] = 10

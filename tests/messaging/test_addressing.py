@@ -1,0 +1,83 @@
+"""Unit tests for the Figure 5/6 filter-population strategies."""
+
+import random
+
+import pytest
+
+from repro.messaging.addressing import (
+    flooding_filter,
+    random_k_filter,
+    relay_set,
+    selected_k_filter,
+    self_only_filter,
+)
+from tests.conftest import make_item
+
+
+class TestSelfOnly:
+    def test_selects_only_own_mail(self):
+        filter_ = self_only_filter("alice")
+        assert filter_.matches(make_item(destination="alice"))
+        assert not filter_.matches(make_item(destination="bob"))
+        assert relay_set(filter_) == frozenset()
+
+
+class TestRandomK:
+    def test_picks_exactly_k_other_addresses(self):
+        filter_ = random_k_filter(
+            "alice", [f"h{i}" for i in range(20)], 4, random.Random(1)
+        )
+        assert len(relay_set(filter_)) == 4
+        assert "alice" not in relay_set(filter_)
+
+    def test_own_address_excluded_from_pool(self):
+        filter_ = random_k_filter("alice", ["alice", "bob"], 5, random.Random(1))
+        assert relay_set(filter_) == frozenset({"bob"})
+
+    def test_deterministic_for_same_seed(self):
+        pool = [f"h{i}" for i in range(30)]
+        a = random_k_filter("alice", pool, 5, random.Random(7))
+        b = random_k_filter("alice", pool, 5, random.Random(7))
+        assert relay_set(a) == relay_set(b)
+
+    def test_k_zero_is_self_only(self):
+        filter_ = random_k_filter("alice", ["bob"], 0, random.Random(1))
+        assert relay_set(filter_) == frozenset()
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            random_k_filter("alice", ["bob"], -1, random.Random(1))
+
+
+class TestSelectedK:
+    def test_picks_most_encountered(self):
+        frequency = {"near": 50, "mid": 10, "far": 1}
+        filter_ = selected_k_filter("alice", frequency, 2)
+        assert relay_set(filter_) == frozenset({"near", "mid"})
+
+    def test_own_address_never_selected(self):
+        frequency = {"alice": 999, "bob": 1}
+        filter_ = selected_k_filter("alice", frequency, 1)
+        assert relay_set(filter_) == frozenset({"bob"})
+
+    def test_ties_break_deterministically(self):
+        frequency = {"b": 5, "a": 5, "c": 5}
+        filter_ = selected_k_filter("x", frequency, 2)
+        assert relay_set(filter_) == frozenset({"a", "b"})
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            selected_k_filter("alice", {}, -1)
+
+
+class TestFlooding:
+    def test_flooding_filter_selects_everyone(self):
+        filter_ = flooding_filter("alice", ["alice", "bob", "carol"])
+        for destination in ("alice", "bob", "carol"):
+            assert filter_.matches(make_item(destination=destination))
+
+    def test_selected_converges_to_flooding_at_large_k(self):
+        frequency = {f"h{i}": i for i in range(10)}
+        selected = selected_k_filter("alice", frequency, 100)
+        flood = flooding_filter("alice", list(frequency))
+        assert selected.addresses == flood.addresses

@@ -1,0 +1,52 @@
+"""Unit tests for the Message ↔ Item mapping."""
+
+from repro.messaging.message import Message
+from repro.replication import Replica, ReplicaId, AddressFilter
+from repro.replication.ids import Version
+from tests.conftest import make_item
+
+
+class TestAttributesFor:
+    def test_builds_complete_attribute_set(self):
+        attributes = Message.attributes_for("alice", "bob", 12.5)
+        assert attributes == {
+            "kind": "message",
+            "source": "alice",
+            "destination": "bob",
+            "created_at": 12.5,
+        }
+
+
+class TestFromItem:
+    def test_decodes_message_item(self):
+        replica = Replica(ReplicaId("n"), AddressFilter("n"))
+        item = replica.create_item(
+            "body", Message.attributes_for("alice", "bob", 3.0)
+        )
+        message = Message.from_item(item)
+        assert message is not None
+        assert message.source == "alice"
+        assert message.destination == "bob"
+        assert message.body == "body"
+        assert message.created_at == 3.0
+        assert message.message_id == item.item_id
+
+    def test_tombstones_decode_to_none(self):
+        item = make_item()
+        tombstone = item.as_tombstone(Version(ReplicaId("x"), 9))
+        assert Message.from_item(tombstone) is None
+
+    def test_non_message_kinds_decode_to_none(self):
+        assert Message.from_item(make_item(kind="ack")) is None
+
+    def test_items_without_addresses_decode_to_none(self):
+        replica = Replica(ReplicaId("n"), AddressFilter("n"))
+        bare = replica.create_item("data", {"kind": "message"})
+        assert Message.from_item(bare) is None
+
+    def test_missing_created_at_defaults_to_zero(self):
+        replica = Replica(ReplicaId("n"), AddressFilter("n"))
+        item = replica.create_item(
+            "x", {"kind": "message", "source": "a", "destination": "b"}
+        )
+        assert Message.from_item(item).created_at == 0.0

@@ -1,0 +1,55 @@
+"""Unit tests for replica observers."""
+
+from repro.replication.events import BaseReplicaObserver, ObserverList
+from tests.conftest import make_item
+
+
+class Recorder(BaseReplicaObserver):
+    def __init__(self):
+        self.calls = []
+
+    def on_store(self, item, matched_filter):
+        self.calls.append(("store", item, matched_filter))
+
+    def on_evict(self, item):
+        self.calls.append(("evict", item))
+
+    def on_delete(self, item):
+        self.calls.append(("delete", item))
+
+
+class TestObserverList:
+    def test_fans_out_in_registration_order(self):
+        fanout = ObserverList()
+        first, second = Recorder(), Recorder()
+        fanout.register(first)
+        fanout.register(second)
+        item = make_item()
+        fanout.on_store(item, True)
+        assert first.calls == [("store", item, True)]
+        assert second.calls == [("store", item, True)]
+
+    def test_unregister_stops_notifications(self):
+        fanout = ObserverList()
+        recorder = Recorder()
+        fanout.register(recorder)
+        fanout.unregister(recorder)
+        fanout.on_evict(make_item())
+        assert recorder.calls == []
+
+    def test_all_event_kinds_forwarded(self):
+        fanout = ObserverList()
+        recorder = Recorder()
+        fanout.register(recorder)
+        item = make_item()
+        fanout.on_store(item, False)
+        fanout.on_evict(item)
+        fanout.on_delete(item)
+        assert [c[0] for c in recorder.calls] == ["store", "evict", "delete"]
+
+    def test_base_observer_is_noop(self):
+        base = BaseReplicaObserver()
+        item = make_item()
+        base.on_store(item, True)
+        base.on_evict(item)
+        base.on_delete(item)  # nothing raised

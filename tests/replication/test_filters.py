@@ -1,0 +1,131 @@
+"""Unit tests for the filter algebra."""
+
+import pytest
+
+from repro.replication.errors import InvalidFilterError
+from repro.replication.filters import (
+    AddressFilter,
+    AllFilter,
+    AndFilter,
+    AttributeFilter,
+    MultiAddressFilter,
+    NotFilter,
+    NothingFilter,
+    OrFilter,
+    covers_address,
+    validate_host_filter,
+)
+from tests.conftest import make_item, make_probe_item
+
+
+class TestAddressFilter:
+    def test_matches_destination(self):
+        assert AddressFilter("alice").matches(make_item(destination="alice"))
+
+    def test_rejects_other_destination(self):
+        assert not AddressFilter("alice").matches(make_item(destination="bob"))
+
+    def test_rejects_missing_destination(self):
+        item = make_item()
+        item = item.with_version(item.version)  # copy
+        no_dest = make_item()
+        object.__setattr__(no_dest, "attributes", {})
+        assert not AddressFilter("alice").matches(no_dest)
+
+    def test_matches_multicast_destination_list(self):
+        item = make_item(destination=["bob", "alice"])
+        assert AddressFilter("alice").matches(item)
+
+    def test_requires_nonempty_address(self):
+        with pytest.raises(InvalidFilterError):
+            AddressFilter("")
+
+
+class TestMultiAddressFilter:
+    def test_own_address_always_included(self):
+        filter_ = MultiAddressFilter("alice", frozenset({"bob"}))
+        assert "alice" in filter_.addresses
+        assert filter_.matches(make_item(destination="alice"))
+
+    def test_relay_addresses_match(self):
+        filter_ = MultiAddressFilter("alice", frozenset({"bob"}))
+        assert filter_.matches(make_item(destination="bob"))
+        assert not filter_.matches(make_item(destination="carol"))
+
+    def test_relay_set_accepts_any_iterable(self):
+        filter_ = MultiAddressFilter("alice", ["bob", "carol"])
+        assert filter_.addresses == {"alice", "bob", "carol"}
+
+    def test_requires_own_address(self):
+        with pytest.raises(InvalidFilterError):
+            MultiAddressFilter("")
+
+
+class TestExtremes:
+    def test_all_filter(self):
+        assert AllFilter().matches(make_item())
+
+    def test_nothing_filter(self):
+        assert not NothingFilter().matches(make_item())
+
+
+class TestAttributeFilter:
+    def test_matches_on_equality(self):
+        item = make_item(priority="high")
+        assert AttributeFilter("priority", "high").matches(item)
+        assert not AttributeFilter("priority", "low").matches(item)
+
+
+class TestCombinators:
+    def test_and(self):
+        both = AddressFilter("alice") & AttributeFilter("source", "bob")
+        assert both.matches(make_item(destination="alice", source="bob"))
+        assert not both.matches(make_item(destination="alice", source="eve"))
+
+    def test_or(self):
+        either = AddressFilter("alice") | AddressFilter("bob")
+        assert either.matches(make_item(destination="bob"))
+        assert not either.matches(make_item(destination="carol"))
+
+    def test_not(self):
+        inverted = ~AddressFilter("alice")
+        assert inverted.matches(make_item(destination="bob"))
+        assert not inverted.matches(make_item(destination="alice"))
+
+    def test_empty_and_matches_everything(self):
+        assert AndFilter(()).matches(make_item())
+
+    def test_empty_or_matches_nothing(self):
+        assert not OrFilter(()).matches(make_item())
+
+    def test_nested_combination(self):
+        filter_ = (AddressFilter("a") | AddressFilter("b")) & ~AttributeFilter(
+            "source", "spam"
+        )
+        assert filter_.matches(make_item(destination="a", source="ok"))
+        assert not filter_.matches(make_item(destination="a", source="spam"))
+
+    def test_filters_are_value_objects(self):
+        assert AddressFilter("a") == AddressFilter("a")
+        assert NotFilter(AllFilter()) == NotFilter(AllFilter())
+
+
+class TestHostFilterValidation:
+    def test_covers_address_structural_cases(self):
+        assert covers_address(AllFilter(), "x", make_probe_item)
+        assert covers_address(AddressFilter("x"), "x", make_probe_item)
+        assert covers_address(
+            MultiAddressFilter("y", frozenset({"x"})), "x", make_probe_item
+        )
+        assert not covers_address(AddressFilter("y"), "x", make_probe_item)
+
+    def test_covers_address_behavioural_fallback(self):
+        either = AddressFilter("x") | AddressFilter("y")
+        assert covers_address(either, "x", make_probe_item)
+
+    def test_validate_accepts_self_selecting_filter(self):
+        validate_host_filter(AddressFilter("me"), "me", make_probe_item)
+
+    def test_validate_rejects_filter_missing_own_address(self):
+        with pytest.raises(InvalidFilterError):
+            validate_host_filter(AddressFilter("you"), "me", make_probe_item)

@@ -1,0 +1,102 @@
+"""Property-based tests for the filter algebra (hypothesis)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.replication.codec import decode_filter, encode_filter
+from repro.replication.filters import (
+    AddressFilter,
+    AllFilter,
+    AndFilter,
+    AttributeFilter,
+    MultiAddressFilter,
+    NotFilter,
+    NothingFilter,
+    OrFilter,
+)
+from tests.conftest import make_item
+
+addresses = st.sampled_from(["a", "b", "c", "d", "e"])
+
+leaf_filters = st.one_of(
+    st.builds(AllFilter),
+    st.builds(NothingFilter),
+    st.builds(AddressFilter, address=addresses),
+    st.builds(
+        MultiAddressFilter,
+        own_address=addresses,
+        relay_addresses=st.frozensets(addresses, max_size=3),
+    ),
+    st.builds(AttributeFilter, name=st.just("source"), value=addresses),
+)
+
+filters = st.recursive(
+    leaf_filters,
+    lambda children: st.one_of(
+        st.builds(AndFilter, operands=st.tuples(children, children)),
+        st.builds(OrFilter, operands=st.tuples(children, children)),
+        st.builds(NotFilter, operand=children),
+    ),
+    max_leaves=6,
+)
+
+items = st.builds(
+    make_item,
+    destination=addresses,
+    source=addresses,
+)
+
+
+@given(filters, filters, items)
+def test_and_is_conjunction(f, g, item):
+    assert (f & g).matches(item) == (f.matches(item) and g.matches(item))
+
+
+@given(filters, filters, items)
+def test_or_is_disjunction(f, g, item):
+    assert (f | g).matches(item) == (f.matches(item) or g.matches(item))
+
+
+@given(filters, items)
+def test_not_is_negation(f, item):
+    assert (~f).matches(item) != f.matches(item)
+
+
+@given(filters, items)
+def test_double_negation_restores_meaning(f, item):
+    assert (~~f).matches(item) == f.matches(item)
+
+
+@given(filters, filters, items)
+def test_de_morgan(f, g, item):
+    assert (~(f & g)).matches(item) == ((~f) | (~g)).matches(item)
+    assert (~(f | g)).matches(item) == ((~f) & (~g)).matches(item)
+
+
+@given(filters, items)
+def test_absorption_with_extremes(f, item):
+    assert (f & AllFilter()).matches(item) == f.matches(item)
+    assert (f | NothingFilter()).matches(item) == f.matches(item)
+    assert not (f & NothingFilter()).matches(item)
+    assert (f | AllFilter()).matches(item)
+
+
+@given(filters)
+def test_wire_roundtrip_preserves_structure(f):
+    assert decode_filter(encode_filter(f)) == f
+
+
+@given(filters, items)
+def test_wire_roundtrip_preserves_semantics(f, item):
+    decoded = decode_filter(encode_filter(f))
+    assert decoded.matches(item) == f.matches(item)
+
+
+@given(st.data())
+def test_multi_address_matches_exactly_its_addresses(data):
+    own = data.draw(addresses)
+    relay = data.draw(st.frozensets(addresses, max_size=4))
+    filter_ = MultiAddressFilter(own, relay)
+    for address in ("a", "b", "c", "d", "e"):
+        item = make_item(destination=address)
+        assert filter_.matches(item) == (address in filter_.addresses)

@@ -1,0 +1,153 @@
+"""Tests for the Cimbiosys-style filter tree."""
+
+import pytest
+
+from repro.replication import (
+    AddressFilter,
+    AllFilter,
+    InvalidFilterError,
+    MultiAddressFilter,
+    Replica,
+    ReplicaId,
+    SyncProtocolError,
+)
+from repro.replication.hierarchy import FilterTree, PushUpPolicy
+
+
+def build_two_level_tree():
+    """root(All) → {hub-east(a,b), hub-west(c,d)} → leaves a,b,c,d."""
+    tree = FilterTree()
+    root = Replica(ReplicaId("root"), AllFilter())
+    tree.add_root(root)
+    tree.add_child(
+        Replica(ReplicaId("hub-east"), MultiAddressFilter("hub-east", {"a", "b"})),
+        "root",
+    )
+    tree.add_child(
+        Replica(ReplicaId("hub-west"), MultiAddressFilter("hub-west", {"c", "d"})),
+        "root",
+    )
+    for leaf, hub in (("a", "hub-east"), ("b", "hub-east"), ("c", "hub-west"), ("d", "hub-west")):
+        tree.add_child(Replica(ReplicaId(leaf), AddressFilter(leaf)), hub)
+    return tree
+
+
+class TestConstruction:
+    def test_root_must_select_everything(self):
+        tree = FilterTree()
+        with pytest.raises(InvalidFilterError):
+            tree.add_root(Replica(ReplicaId("r"), AddressFilter("r")))
+
+    def test_single_root_only(self):
+        tree = FilterTree()
+        tree.add_root(Replica(ReplicaId("r"), AllFilter()))
+        with pytest.raises(SyncProtocolError):
+            tree.add_root(Replica(ReplicaId("r2"), AllFilter()))
+
+    def test_children_need_existing_parent(self):
+        tree = FilterTree()
+        tree.add_root(Replica(ReplicaId("r"), AllFilter()))
+        with pytest.raises(SyncProtocolError):
+            tree.add_child(Replica(ReplicaId("x"), AddressFilter("x")), "ghost")
+
+    def test_duplicate_names_rejected(self):
+        tree = FilterTree()
+        tree.add_root(Replica(ReplicaId("r"), AllFilter()))
+        tree.add_child(Replica(ReplicaId("x"), AddressFilter("x")), "r")
+        with pytest.raises(SyncProtocolError):
+            tree.add_child(Replica(ReplicaId("x"), AddressFilter("x")), "r")
+
+    def test_subset_violation_detected(self):
+        tree = FilterTree()
+        tree.add_root(Replica(ReplicaId("r"), AllFilter()))
+        tree.add_child(
+            Replica(ReplicaId("hub"), MultiAddressFilter("hub", {"a"})), "r"
+        )
+        with pytest.raises(InvalidFilterError):
+            tree.add_child(
+                Replica(ReplicaId("z"), AddressFilter("z")), "hub"
+            )  # 'z' ⊄ {hub, a}
+
+    def test_depths(self):
+        tree = build_two_level_tree()
+        assert tree.depth_of("root") == 0
+        assert tree.depth_of("hub-east") == 1
+        assert tree.depth_of("a") == 2
+
+
+class TestPushUpPolicy:
+    def test_pushes_only_to_parent(self):
+        from repro.replication import SyncContext
+        from tests.conftest import make_item
+
+        policy = PushUpPolicy(parent="hub")
+        to_parent = SyncContext(ReplicaId("leaf"), ReplicaId("hub"), 0.0)
+        to_other = SyncContext(ReplicaId("leaf"), ReplicaId("stranger"), 0.0)
+        item = make_item(destination="elsewhere")
+        assert policy.to_send(item, AddressFilter("hub"), to_parent) is not None
+        assert policy.to_send(item, AddressFilter("x"), to_other) is None
+
+    def test_root_pushes_nowhere(self):
+        from repro.replication import SyncContext
+        from tests.conftest import make_item
+
+        policy = PushUpPolicy(parent=None)
+        context = SyncContext(ReplicaId("root"), ReplicaId("hub"), 0.0)
+        assert policy.to_send(make_item(), AddressFilter("hub"), context) is None
+
+
+class TestPropagation:
+    def test_one_round_delivers_across_the_tree(self):
+        tree = build_two_level_tree()
+        sender = tree.replica_of("a")
+        item = sender.create_item("cross-tree", {"destination": "d"})
+        tree.sync_round()
+        assert tree.replica_of("d").holds(item.item_id)
+        assert tree.replica_of("d").in_filter_count == 1
+
+    def test_item_flows_through_root(self):
+        tree = build_two_level_tree()
+        sender = tree.replica_of("a")
+        item = sender.create_item("archived", {"destination": "d"})
+        tree.sync_round()
+        assert tree.replica_of("root").holds(item.item_id)
+
+    def test_uninterested_subtree_stays_clean(self):
+        tree = build_two_level_tree()
+        tree.replica_of("a").create_item("east only", {"destination": "b"})
+        tree.sync_round()
+        # hub-west and its leaves never see east-bound mail.
+        assert tree.replica_of("hub-west").in_filter_count == 0
+        assert tree.replica_of("hub-west").relay_count == 0
+        assert tree.replica_of("c").in_filter_count == 0
+
+    def test_sibling_delivery_through_hub(self):
+        tree = build_two_level_tree()
+        item = tree.replica_of("a").create_item("hi b", {"destination": "b"})
+        tree.sync_round()
+        assert tree.replica_of("b").holds(item.item_id)
+
+    def test_converge_is_idempotent_when_quiet(self):
+        tree = build_two_level_tree()
+        tree.replica_of("a").create_item("x", {"destination": "c"})
+        tree.converge(rounds=2)
+        stats = tree.sync_round(now=10.0)
+        assert sum(s.sent_total for s in stats) == 0
+
+    def test_full_workload_converges(self):
+        tree = build_two_level_tree()
+        items = [
+            tree.replica_of(src).create_item(f"{src}->{dst}", {"destination": dst})
+            for src, dst in (("a", "c"), ("b", "d"), ("c", "a"), ("d", "b"))
+        ]
+        tree.converge(rounds=2)
+        # The root archives (and therefore knows) everything...
+        root_knowledge = tree.replica_of("root").knowledge
+        for item in items:
+            assert root_knowledge.contains(item.version)
+            assert tree.replica_of("root").holds(item.item_id)
+        # ...and every destination received its mail (leaves learn only
+        # what their filters select — knowledge is not global).
+        for item in items:
+            destination = item.attribute("destination")
+            assert tree.replica_of(destination).holds(item.item_id)

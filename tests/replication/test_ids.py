@@ -1,0 +1,87 @@
+"""Unit tests for identifier types."""
+
+import pytest
+
+from repro.replication.ids import IdFactory, ItemId, ReplicaId, Version
+
+
+class TestReplicaId:
+    def test_wraps_name(self):
+        assert ReplicaId("bus01").name == "bus01"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            ReplicaId("")
+
+    def test_equality_by_name(self):
+        assert ReplicaId("a") == ReplicaId("a")
+        assert ReplicaId("a") != ReplicaId("b")
+
+    def test_ordering_is_lexicographic(self):
+        assert ReplicaId("a") < ReplicaId("b")
+        assert sorted([ReplicaId("c"), ReplicaId("a")])[0] == ReplicaId("a")
+
+    def test_hashable(self):
+        assert len({ReplicaId("a"), ReplicaId("a"), ReplicaId("b")}) == 2
+
+    def test_str(self):
+        assert str(ReplicaId("bus01")) == "bus01"
+
+
+class TestItemId:
+    def test_fields(self):
+        item_id = ItemId(ReplicaId("n"), 3)
+        assert item_id.origin == ReplicaId("n")
+        assert item_id.serial == 3
+
+    def test_rejects_negative_serial(self):
+        with pytest.raises(ValueError):
+            ItemId(ReplicaId("n"), -1)
+
+    def test_equality_and_hash(self):
+        a = ItemId(ReplicaId("n"), 1)
+        b = ItemId(ReplicaId("n"), 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str(self):
+        assert str(ItemId(ReplicaId("n"), 7)) == "n#7"
+
+
+class TestVersion:
+    def test_counter_starts_at_one(self):
+        with pytest.raises(ValueError):
+            Version(ReplicaId("n"), 0)
+
+    def test_ordering(self):
+        v1 = Version(ReplicaId("a"), 1)
+        v2 = Version(ReplicaId("a"), 2)
+        assert v1 < v2
+
+    def test_str(self):
+        assert str(Version(ReplicaId("n"), 2)) == "n:2"
+
+
+class TestIdFactory:
+    def test_item_ids_are_sequential(self):
+        factory = IdFactory(ReplicaId("n"))
+        first = factory.next_item_id()
+        second = factory.next_item_id()
+        assert first.serial == 0
+        assert second.serial == 1
+
+    def test_versions_are_sequential_from_one(self):
+        factory = IdFactory(ReplicaId("n"))
+        assert factory.next_version().counter == 1
+        assert factory.next_version().counter == 2
+        assert factory.last_counter == 2
+
+    def test_versions_carry_replica(self):
+        factory = IdFactory(ReplicaId("n"))
+        assert factory.next_version().replica == ReplicaId("n")
+
+    def test_independent_factories_do_not_share_state(self):
+        fa = IdFactory(ReplicaId("a"))
+        fb = IdFactory(ReplicaId("b"))
+        fa.next_version()
+        assert fb.last_counter == 0

@@ -1,0 +1,86 @@
+"""Unit tests for replicated items."""
+
+from repro.replication.ids import ReplicaId, Version
+from repro.replication.items import (
+    ATTR_DESTINATION,
+    KIND_MESSAGE,
+    Item,
+)
+from tests.conftest import make_item
+
+
+class TestIdentity:
+    def test_equality_by_id_and_version(self):
+        item = make_item()
+        twin = Item(item.item_id, item.version, payload="different")
+        assert item == twin
+        assert hash(item) == hash(twin)
+
+    def test_local_attributes_do_not_affect_equality(self):
+        item = make_item()
+        adjusted = item.with_local(ttl=3)
+        assert item == adjusted
+
+    def test_different_versions_differ(self):
+        item = make_item()
+        updated = item.with_version(Version(ReplicaId("other"), 9))
+        assert item != updated
+
+
+class TestAttributes:
+    def test_attribute_access(self):
+        item = make_item(destination="carol")
+        assert item.attribute(ATTR_DESTINATION) == "carol"
+        assert item.destination == "carol"
+
+    def test_attribute_default(self):
+        assert make_item().attribute("missing", 42) == 42
+
+    def test_kind_defaults_to_message(self):
+        assert make_item().kind == KIND_MESSAGE
+
+    def test_attributes_are_copied_defensively(self):
+        source = {"destination": "x"}
+        item = Item(make_item().item_id, make_item().version, attributes=source)
+        source["destination"] = "mutated"
+        assert item.destination == "x"
+
+
+class TestLocalAttributes:
+    def test_with_local_sets_value(self):
+        item = make_item().with_local(ttl=5)
+        assert item.local("ttl") == 5
+
+    def test_with_local_none_deletes(self):
+        item = make_item().with_local(ttl=5).with_local(ttl=None)
+        assert item.local("ttl") is None
+
+    def test_with_local_preserves_others(self):
+        item = make_item().with_local(a=1).with_local(b=2)
+        assert item.local("a") == 1
+        assert item.local("b") == 2
+
+    def test_without_local_strips_everything(self):
+        item = make_item().with_local(a=1)
+        assert item.without_local().local_attributes == {}
+
+    def test_without_local_noop_when_already_clean(self):
+        item = make_item()
+        assert item.without_local() is item
+
+
+class TestTombstones:
+    def test_as_tombstone_marks_deleted_and_drops_payload(self):
+        item = make_item(payload="secret")
+        tombstone = item.as_tombstone(Version(ReplicaId("origin"), 99))
+        assert tombstone.deleted
+        assert tombstone.payload is None
+
+    def test_tombstone_keeps_attributes_for_routing(self):
+        item = make_item(destination="carol")
+        tombstone = item.as_tombstone(Version(ReplicaId("origin"), 99))
+        assert tombstone.destination == "carol"
+
+    def test_repr_flags_deleted(self):
+        tombstone = make_item().as_tombstone(Version(ReplicaId("origin"), 99))
+        assert "deleted" in repr(tombstone)

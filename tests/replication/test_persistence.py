@@ -1,0 +1,127 @@
+"""Tests for replica checkpointing and restore."""
+
+import json
+
+import pytest
+
+from repro.replication import (
+    AddressFilter,
+    MultiAddressFilter,
+    Replica,
+    ReplicaId,
+    SyncEndpoint,
+    perform_sync,
+)
+from repro.replication.codec import CodecError
+from repro.replication.persistence import (
+    load_replica,
+    replica_from_state,
+    replica_to_state,
+    save_replica,
+)
+
+
+def populated_replica():
+    replica = Replica(
+        ReplicaId("alice"), MultiAddressFilter("alice", frozenset({"carol"}))
+    )
+    replica.create_item("inbox item", {"destination": "alice"})
+    replica.create_item("outbox item", {"destination": "bob"})
+    other = Replica(ReplicaId("bob"), AddressFilter("bob"))
+    relayed = other.create_item("relayed", {"destination": "dave"})
+    replica.apply_remote(relayed.with_local(ttl=3))
+    return replica
+
+
+class TestRoundtrip:
+    def test_stores_survive(self):
+        replica = populated_replica()
+        restored = replica_from_state(replica_to_state(replica))
+        assert restored.in_filter_count == replica.in_filter_count
+        assert restored.outbox_count == replica.outbox_count
+        assert restored.relay_count == replica.relay_count
+
+    def test_knowledge_survives(self):
+        replica = populated_replica()
+        restored = replica_from_state(replica_to_state(replica))
+        assert restored.knowledge == replica.knowledge
+
+    def test_local_attributes_survive(self):
+        replica = populated_replica()
+        restored = replica_from_state(replica_to_state(replica))
+        relayed = [item for item in restored.stored_items() if item.local("ttl")]
+        assert len(relayed) == 1
+        assert relayed[0].local("ttl") == 3
+
+    def test_filter_survives(self):
+        replica = populated_replica()
+        restored = replica_from_state(replica_to_state(replica))
+        assert restored.filter == replica.filter
+
+    def test_state_is_json_representable(self):
+        state = replica_to_state(populated_replica())
+        restored = replica_from_state(json.loads(json.dumps(state)))
+        assert restored.knowledge == populated_replica().knowledge
+
+    def test_id_counters_continue_not_repeat(self):
+        replica = populated_replica()
+        restored = replica_from_state(replica_to_state(replica))
+        fresh = restored.create_item("post-restore", {"destination": "x"})
+        existing_ids = {item.item_id for item in replica.stored_items()}
+        assert fresh.item_id not in existing_ids
+        existing_versions = set(replica.knowledge.versions())
+        assert fresh.version not in existing_versions
+
+    def test_relay_capacity_survives(self):
+        replica = Replica(
+            ReplicaId("n"), AddressFilter("n"), relay_capacity=2
+        )
+        restored = replica_from_state(replica_to_state(replica))
+        assert restored._relay.capacity == 2
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(CodecError):
+            replica_from_state({"format": "something-else"})
+
+
+class TestResume:
+    def test_restored_replica_syncs_correctly(self):
+        """A restored replica refuses what it already has and accepts what
+        it does not — protocol-indistinguishable from the original."""
+        alice = populated_replica()
+        bob = Replica(ReplicaId("bob"), AddressFilter("bob"))
+        bob.create_item("first", {"destination": "alice"})
+        perform_sync(SyncEndpoint(bob), SyncEndpoint(alice))
+
+        restored = replica_from_state(replica_to_state(alice))
+        # Nothing new: the restored knowledge filters everything out.
+        stats = perform_sync(SyncEndpoint(bob), SyncEndpoint(restored))
+        assert stats.sent_total == 0
+        # Something new: accepted exactly once.
+        bob.create_item("second", {"destination": "alice"})
+        stats = perform_sync(SyncEndpoint(bob), SyncEndpoint(restored))
+        assert stats.sent_total == 1
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        replica = populated_replica()
+        path = tmp_path / "alice.ckpt"
+        save_replica(replica, path)
+        restored, policy_state = load_replica(path)
+        assert restored.replica_id == replica.replica_id
+        assert restored.knowledge == replica.knowledge
+        assert policy_state is None
+
+    def test_policy_state_bundled(self, tmp_path):
+        replica = populated_replica()
+        path = tmp_path / "alice.ckpt"
+        save_replica(replica, path, policy_state={"p": {"bob": 0.5}})
+        _, policy_state = load_replica(path)
+        assert policy_state == {"p": {"bob": 0.5}}
+
+    def test_loading_garbage_raises(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_text(json.dumps({"nope": 1}))
+        with pytest.raises(CodecError):
+            load_replica(path)

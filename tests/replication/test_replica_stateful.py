@@ -1,0 +1,152 @@
+"""Stateful property test of the replica (hypothesis RuleBasedStateMachine).
+
+Random interleavings of authoring, updating, deleting, receiving remote
+versions, local adjustments, and filter changes, with the replica's core
+invariants checked after every step:
+
+* every stored item's version is covered by knowledge;
+* at most one stored copy per item id, in exactly one store;
+* store placement matches the filter and authorship rules;
+* the relay store never exceeds its capacity.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.replication import (
+    AddressFilter,
+    DuplicateDeliveryError,
+    MultiAddressFilter,
+    Replica,
+    ReplicaId,
+)
+
+ADDRESSES = ("self", "peer", "other", "far")
+RELAY_CAPACITY = 3
+
+
+class ReplicaMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.replica = Replica(
+            ReplicaId("self"),
+            AddressFilter("self"),
+            relay_capacity=RELAY_CAPACITY,
+        )
+        self.remote = Replica(ReplicaId("peer"), AddressFilter("peer"))
+        self.applied_versions = set()
+
+    # -- operations ------------------------------------------------------------
+
+    @rule(destination=st.sampled_from(ADDRESSES))
+    def author_item(self, destination):
+        self.replica.create_item("payload", {"destination": destination})
+
+    @rule(destination=st.sampled_from(ADDRESSES))
+    def receive_remote(self, destination):
+        item = self.remote.create_item("remote", {"destination": destination})
+        try:
+            self.replica.apply_remote(item)
+        except DuplicateDeliveryError:
+            raise AssertionError("fresh remote version must never be duplicate")
+        self.applied_versions.add(item.version)
+
+    @rule(data=st.data())
+    def receive_duplicate_is_rejected(self, data):
+        if not self.applied_versions:
+            return
+        version = data.draw(st.sampled_from(sorted(self.applied_versions)))
+        item = next(
+            (
+                stored
+                for stored in self.remote.stored_items()
+                if stored.version == version
+            ),
+            None,
+        )
+        if item is None:
+            return
+        try:
+            self.replica.apply_remote(item)
+        except DuplicateDeliveryError:
+            return
+        raise AssertionError("duplicate version was accepted")
+
+    @rule(data=st.data())
+    def update_some_item(self, data):
+        items = [
+            item
+            for item in self.replica.stored_items()
+            if item.version.replica == self.replica.replica_id
+        ]
+        if not items:
+            return
+        item = data.draw(st.sampled_from(sorted(items, key=lambda i: i.item_id)))
+        self.replica.update_item(item.item_id, payload="updated")
+
+    @rule(data=st.data())
+    def delete_some_item(self, data):
+        items = [item for item in self.replica.stored_items() if not item.deleted]
+        if not items:
+            return
+        item = data.draw(st.sampled_from(sorted(items, key=lambda i: i.item_id)))
+        self.replica.delete_item(item.item_id)
+
+    @rule(data=st.data(), marker=st.integers(min_value=0, max_value=9))
+    def adjust_local_attribute(self, data, marker):
+        items = list(self.replica.stored_items())
+        if not items:
+            return
+        item = data.draw(st.sampled_from(sorted(items, key=lambda i: i.item_id)))
+        self.replica.adjust_local(item.with_local(marker=marker))
+
+    @rule(relay=st.frozensets(st.sampled_from(ADDRESSES), max_size=2))
+    def change_filter(self, relay):
+        self.replica.set_filter(
+            MultiAddressFilter("self", relay - {"self"})
+        )
+
+    # -- invariants -----------------------------------------------------------------
+
+    @invariant()
+    def knowledge_covers_stores(self):
+        if not hasattr(self, "replica"):
+            return
+        for item in self.replica.stored_items():
+            assert self.replica.knowledge.contains(item.version)
+
+    @invariant()
+    def one_copy_per_item_in_one_store(self):
+        if not hasattr(self, "replica"):
+            return
+        seen = set()
+        for item in self.replica.stored_items():
+            assert item.item_id not in seen
+            seen.add(item.item_id)
+
+    @invariant()
+    def placement_matches_rules(self):
+        if not hasattr(self, "replica"):
+            return
+        replica = self.replica
+        for item in replica._store.items():
+            assert replica.filter.matches(item)
+        for item in replica._outbox.items():
+            assert not replica.filter.matches(item)
+            assert item.version.replica == replica.replica_id
+        for item in replica._relay.items():
+            assert not replica.filter.matches(item)
+
+    @invariant()
+    def relay_capacity_respected(self):
+        if not hasattr(self, "replica"):
+            return
+        assert self.replica.relay_count <= RELAY_CAPACITY
+
+
+TestReplicaStateMachine = ReplicaMachine.TestCase

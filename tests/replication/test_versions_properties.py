@@ -1,0 +1,111 @@
+"""Property-based tests for the version-vector algebra (hypothesis).
+
+These check the DESIGN.md invariants: merge is commutative, associative,
+and idempotent; dominance is a partial order consistent with set
+containment; and the prefix+extras representation never loses or invents
+versions regardless of arrival order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication.ids import ReplicaId, Version
+from repro.replication.versions import VersionVector
+
+replica_names = st.sampled_from(["a", "b", "c", "d"])
+versions = st.builds(
+    Version,
+    replica=st.builds(ReplicaId, name=replica_names),
+    counter=st.integers(min_value=1, max_value=40),
+)
+version_lists = st.lists(versions, max_size=60)
+
+
+def vector_of(version_list) -> VersionVector:
+    return VersionVector.from_versions(version_list)
+
+
+@given(version_lists)
+def test_add_then_contains(version_list):
+    vector = vector_of(version_list)
+    for version in version_list:
+        assert vector.contains(version)
+
+
+@given(version_lists)
+def test_insertion_order_is_irrelevant(version_list):
+    forward = vector_of(version_list)
+    backward = vector_of(list(reversed(version_list)))
+    assert forward == backward
+    assert sorted(forward.versions()) == sorted(backward.versions())
+
+
+@given(version_lists)
+def test_versions_roundtrip_exactly(version_list):
+    vector = vector_of(version_list)
+    assert sorted(set(version_list)) == sorted(vector.versions())
+
+
+@given(version_lists, version_lists)
+def test_merge_commutative(left_list, right_list):
+    ab = vector_of(left_list).merged(vector_of(right_list))
+    ba = vector_of(right_list).merged(vector_of(left_list))
+    assert ab == ba
+
+
+@given(version_lists, version_lists, version_lists)
+@settings(max_examples=50)
+def test_merge_associative(a_list, b_list, c_list):
+    a, b, c = vector_of(a_list), vector_of(b_list), vector_of(c_list)
+    left = a.merged(b).merged(c)
+    right = a.merged(b.merged(c))
+    assert left == right
+
+
+@given(version_lists)
+def test_merge_idempotent(version_list):
+    vector = vector_of(version_list)
+    assert vector.merged(vector) == vector
+
+
+@given(version_lists, version_lists)
+def test_merge_result_dominates_both(left_list, right_list):
+    left, right = vector_of(left_list), vector_of(right_list)
+    merged = left.merged(right)
+    assert merged.dominates(left)
+    assert merged.dominates(right)
+
+
+@given(version_lists, version_lists)
+def test_dominates_matches_set_containment(left_list, right_list):
+    left, right = vector_of(left_list), vector_of(right_list)
+    containment = set(right.versions()) <= set(left.versions())
+    assert left.dominates(right) == containment
+
+
+@given(version_lists, version_lists)
+def test_mutual_dominance_is_equality(left_list, right_list):
+    left, right = vector_of(left_list), vector_of(right_list)
+    if left.dominates(right) and right.dominates(left):
+        assert left == right
+
+
+@given(version_lists)
+def test_extras_never_exceed_stored_versions(version_list):
+    vector = vector_of(version_list)
+    assert vector.size_in_extras() <= len(set(version_list))
+
+
+@given(version_lists)
+def test_contiguous_versions_fully_compact(version_list):
+    """Feeding 1..n per replica (any order) leaves no extras at all."""
+    by_replica = {}
+    for version in version_list:
+        by_replica.setdefault(version.replica, set()).add(version.counter)
+    contiguous = [
+        Version(replica, counter)
+        for replica, counters in by_replica.items()
+        for counter in range(1, len(counters) + 1)
+    ]
+    vector = vector_of(contiguous)
+    assert vector.size_in_extras() == 0

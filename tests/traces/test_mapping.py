@@ -1,0 +1,74 @@
+"""Unit tests for daily user→bus assignment."""
+
+from repro.emulation.encounters import SECONDS_PER_DAY, Encounter, EncounterTrace
+from repro.traces.mapping import assign_users_daily, host_of, users_on_day
+
+
+def trace_two_days():
+    return EncounterTrace(
+        [
+            Encounter(9 * 3600.0, "bus0", "bus1"),
+            Encounter(10 * 3600.0, "bus1", "bus2"),
+            Encounter(SECONDS_PER_DAY + 9 * 3600.0, "bus0", "bus2"),
+        ]
+    )
+
+
+USERS = [f"u{i}" for i in range(7)]
+
+
+class TestAssignment:
+    def test_every_user_assigned_each_active_day(self):
+        schedule = assign_users_daily(trace_two_days(), USERS, seed=1)
+        for day in (0, 1):
+            assert users_on_day(schedule, day) == set(USERS)
+
+    def test_only_active_buses_get_users(self):
+        schedule = assign_users_daily(trace_two_days(), USERS, seed=1)
+        assert set(schedule[1]) == {"bus0", "bus2"}
+
+    def test_distribution_is_balanced(self):
+        schedule = assign_users_daily(trace_two_days(), USERS, seed=1)
+        sizes = [len(users) for users in schedule[0].values()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_each_user_on_exactly_one_bus(self):
+        schedule = assign_users_daily(trace_two_days(), USERS, seed=1)
+        day_map = schedule[0]
+        seen = [user for users in day_map.values() for user in users]
+        assert sorted(seen) == sorted(USERS)
+
+    def test_deterministic_per_seed_and_day(self):
+        a = assign_users_daily(trace_two_days(), USERS, seed=9)
+        b = assign_users_daily(trace_two_days(), USERS, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = assign_users_daily(trace_two_days(), USERS, seed=1)
+        b = assign_users_daily(trace_two_days(), USERS, seed=2)
+        assert a != b
+
+    def test_assignments_shuffle_across_days(self):
+        schedule = assign_users_daily(trace_two_days(), USERS, seed=1)
+        assert schedule[0] != schedule[1]
+
+
+class TestLookups:
+    def test_host_of(self):
+        schedule = assign_users_daily(trace_two_days(), USERS, seed=1)
+        for user in USERS:
+            bus = host_of(schedule, 0, user)
+            assert bus is not None
+            assert user in schedule[0][bus]
+
+    def test_host_of_missing_user(self):
+        schedule = assign_users_daily(trace_two_days(), USERS, seed=1)
+        assert host_of(schedule, 0, "stranger") is None
+
+    def test_host_of_missing_day(self):
+        schedule = assign_users_daily(trace_two_days(), USERS, seed=1)
+        assert host_of(schedule, 99, "u0") is None
+
+    def test_users_on_missing_day_empty(self):
+        schedule = assign_users_daily(trace_two_days(), USERS, seed=1)
+        assert users_on_day(schedule, 99) == frozenset()

@@ -1,0 +1,33 @@
+"""Tests for the optional duration column of the trace format."""
+
+import pytest
+
+from repro.traces.dieselnet import format_trace_text, parse_trace_text
+
+
+class TestDurationColumn:
+    def test_parse_with_duration(self):
+        trace = parse_trace_text(["0 32400.0 a b 12.5"])
+        assert trace[0].duration == 12.5
+
+    def test_parse_without_duration_defaults_zero(self):
+        trace = parse_trace_text(["0 32400.0 a b"])
+        assert trace[0].duration == 0.0
+
+    def test_mixed_lines(self):
+        trace = parse_trace_text(["0 32400.0 a b", "0 33000.0 a c 5.0"])
+        assert [e.duration for e in trace] == [0.0, 5.0]
+
+    def test_roundtrip_preserves_duration(self):
+        original = parse_trace_text(["0 32400.0 a b 12.5", "1 40000.0 c d"])
+        lines = list(format_trace_text(original))
+        reparsed = parse_trace_text(lines)
+        assert [e.duration for e in reparsed] == [12.5, 0.0]
+
+    def test_six_columns_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_trace_text(["0 32400.0 a b 12.5 extra"])
+
+    def test_non_numeric_duration_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_trace_text(["0 32400.0 a b long"])
