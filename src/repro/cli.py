@@ -6,6 +6,9 @@ Usage (installed as ``python -m repro``):
     python -m repro run --policy epidemic [--scale S]
                         [--bandwidth-limit N] [--storage-limit N]
                         [--filter-strategy random|selected --filter-k K]
+                        [--fault-drop P] [--fault-truncation P]
+                        [--fault-duplication P] [--fault-crash P]
+                        [--fault-seed N]
     python -m repro figure {5,6,7,8,9,10,all} [--scale S]
     python -m repro tables
 
@@ -39,6 +42,7 @@ from repro.experiments.report import (
     render_table_2,
 )
 from repro.experiments.runner import run_experiment
+from repro.faults import FaultConfig
 from repro.traces.dieselnet import (
     DieselNetConfig,
     format_trace_text,
@@ -81,6 +85,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--addressing", choices=("bus", "user"), default="bus",
         help="bus = the paper's model; user = dynamic-filter extension",
     )
+    faults = run.add_argument_group(
+        "fault injection", "seeded fault models (see docs/faults.md)"
+    )
+    faults.add_argument(
+        "--fault-drop", type=float, default=0.0, metavar="P",
+        help="probability an encounter is dropped entirely",
+    )
+    faults.add_argument(
+        "--fault-truncation", type=float, default=0.0, metavar="P",
+        help="probability a sync batch is cut mid-transfer",
+    )
+    faults.add_argument(
+        "--fault-duplication", type=float, default=0.0, metavar="P",
+        help="probability a delivered batch entry arrives twice",
+    )
+    faults.add_argument(
+        "--fault-crash", type=float, default=0.0, metavar="P",
+        help="probability an encounter participant crash-restarts",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=23,
+        help="seed for the fault injector's RNG (default 23)",
+    )
 
     figure = subparsers.add_parser(
         "figure", help="regenerate a figure of the paper's evaluation"
@@ -113,7 +140,36 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Fault counters appended to ``repro run`` output when faults are armed.
+FAULT_COUNTER_KEYS = (
+    "dropped_encounters",
+    "backoff_skips",
+    "interrupted_syncs",
+    "resumed_syncs",
+    "crashes",
+    "lost_transmissions",
+    "redundant_transmissions",
+)
+
+
+def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
+    knobs = {
+        "encounter_drop_probability": args.fault_drop,
+        "truncation_probability": args.fault_truncation,
+        "duplication_probability": args.fault_duplication,
+        "crash_probability": args.fault_crash,
+    }
+    if all(value == 0.0 for value in knobs.values()):
+        return None
+    return FaultConfig(**knobs)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        faults = _fault_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     config = ExperimentConfig(
         scale=_scale(args.scale),
         policy=args.policy,
@@ -122,10 +178,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         filter_k=args.filter_k,
         bandwidth_limit=args.bandwidth_limit,
         storage_limit=args.storage_limit,
+        faults=faults,
+        fault_seed=args.fault_seed,
     )
     result = run_experiment(config)
+    summary = result.summary()
     print(f"experiment: {config.label()}  (scale {config.scale})")
-    print(render_summary_rows({config.label(): result.summary()}))
+    print(render_summary_rows({config.label(): summary}))
+    if faults is not None:
+        print()
+        print(f"fault counters (fault seed {config.fault_seed}):")
+        for key in FAULT_COUNTER_KEYS:
+            print(f"{key:>24} | {summary[key]:>11.0f}")
     return 0
 
 

@@ -62,6 +62,17 @@ class MetricsCollector:
     relayed_transmissions: int = 0
     truncated_transmissions: int = 0
     evictions: int = 0
+    # Fault-injection accounting (all zero in fault-free runs): encounters
+    # the fault model dropped outright or deferred to a backoff window,
+    # sessions interrupted mid-batch, pairs that later resumed, node
+    # crash-restarts, and transmissions lost in transit or delivered twice.
+    dropped_encounters: int = 0
+    backoff_skips: int = 0
+    interrupted_syncs: int = 0
+    resumed_syncs: int = 0
+    crashes: int = 0
+    lost_transmissions: int = 0
+    redundant_transmissions: int = 0
     end_time: float = 0.0
 
     # -- recording ------------------------------------------------------------------
@@ -100,12 +111,27 @@ class MetricsCollector:
         self.matching_transmissions += stats.sent_matching
         self.relayed_transmissions += stats.sent_relayed
         self.truncated_transmissions += stats.truncated
+        self.lost_transmissions += stats.lost_in_transit
+        self.redundant_transmissions += stats.redundant_received
+        if stats.interrupted:
+            self.interrupted_syncs += 1
+        if stats.resumed:
+            self.resumed_syncs += 1
 
     def record_encounter(self) -> None:
         self.encounters += 1
 
     def record_eviction(self) -> None:
         self.evictions += 1
+
+    def record_dropped_encounter(self) -> None:
+        self.dropped_encounters += 1
+
+    def record_backoff_skip(self) -> None:
+        self.backoff_skips += 1
+
+    def record_crash(self) -> None:
+        self.crashes += 1
 
     # -- aggregate views ----------------------------------------------------------------
 
@@ -233,6 +259,13 @@ class MetricsCollector:
             "transmissions": float(self.transmissions),
             "relayed_transmissions": float(self.relayed_transmissions),
             "evictions": float(self.evictions),
+            "dropped_encounters": float(self.dropped_encounters),
+            "backoff_skips": float(self.backoff_skips),
+            "interrupted_syncs": float(self.interrupted_syncs),
+            "resumed_syncs": float(self.resumed_syncs),
+            "crashes": float(self.crashes),
+            "lost_transmissions": float(self.lost_transmissions),
+            "redundant_transmissions": float(self.redundant_transmissions),
             "mean_copies_at_delivery": (
                 self.mean_copies_at_delivery() or float("nan")
             ),

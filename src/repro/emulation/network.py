@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
 
+from repro.faults import FaultConfig, FaultInjector
 from repro.replication.events import BaseReplicaObserver
 from repro.replication.items import Item
 from repro.replication.sync import perform_encounter
@@ -72,8 +73,10 @@ class Emulator:
         sync_failure_probability: float = 0.0,
         seed: int = 0,
         metrics: Optional[MetricsCollector] = None,
+        faults: Optional[FaultConfig] = None,
+        fault_seed: int = 0,
     ) -> None:
-        """Two further realism knobs beyond the paper's Figure 9/10 limits:
+        """Realism knobs beyond the paper's Figure 9/10 limits:
 
         * ``messages_per_second`` derives a per-encounter transfer budget
           from the encounter's radio-contact ``duration`` (encounters
@@ -83,6 +86,12 @@ class Emulator:
           (the radio contact happened but no sync completed), seeded and
           deterministic. The substrate's crash-safety makes this purely a
           performance effect, never a correctness one.
+        * ``faults`` + ``fault_seed`` arm the :mod:`repro.faults`
+          subsystem: encounter drops, mid-batch truncation, duplicated
+          delivery, and crash-restarts, with retry/backoff bookkeeping
+          for interrupted pairs. The injector draws from its *own* RNG
+          seeded by ``fault_seed``, so arming faults never perturbs the
+          base experiment's random draws.
         """
         if not 0.0 <= sync_failure_probability <= 1.0:
             raise ValueError("sync_failure_probability must be in [0, 1]")
@@ -101,17 +110,26 @@ class Emulator:
         self._rng = random.Random(seed)
         self._user_location: Dict[str, str] = {}
         self._skipped_injections: list[Injection] = []
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(faults, seed=fault_seed)
+            if faults is not None and faults.enabled
+            else None
+        )
 
         missing = self.trace.hosts - self.nodes.keys()
         if missing:
             raise ValueError(f"trace references unknown nodes: {sorted(missing)}")
 
-        eviction_counter = _EvictionCounter(self.metrics)
+        self._eviction_counter = _EvictionCounter(self.metrics)
         for node in self.nodes.values():
-            node.replica.register_observer(eviction_counter)
-            node.app.on_delivery(
-                lambda message, _node=node: self._on_delivery(_node, message)
-            )
+            self._wire_node(node)
+
+    def _wire_node(self, node: EmulatedNode) -> None:
+        """Attach metrics plumbing to a (possibly freshly restarted) node."""
+        node.replica.register_observer(self._eviction_counter)
+        node.app.on_delivery(
+            lambda message, _node=node: self._on_delivery(_node, message)
+        )
 
     # -- event handlers ----------------------------------------------------------
 
@@ -179,18 +197,57 @@ class Emulator:
         ):
             self.failed_encounters += 1
             return
+        injector = self.fault_injector
+        now = self.engine.now
+        if injector is not None:
+            if not injector.encounter_allowed(encounter.a, encounter.b, now):
+                self.metrics.record_backoff_skip()
+                return
+            if injector.should_drop_encounter():
+                self.failed_encounters += 1
+                self.metrics.record_dropped_encounter()
+                return
         node_a = self.nodes[encounter.a]
         node_b = self.nodes[encounter.b]
         first, second = (node_a, node_b) if order else (node_b, node_a)
+        transport_factory = (
+            (lambda source_id, target_id: injector.transport())
+            if injector is not None
+            else None
+        )
         stats = perform_encounter(
             first.endpoint,
             second.endpoint,
-            now=self.engine.now,
+            now=now,
             max_items_per_encounter=self._encounter_budget(encounter),
+            transport_factory=transport_factory,
         )
         self.metrics.record_encounter()
+        if injector is not None:
+            interrupted = any(sync_stats.interrupted for sync_stats in stats)
+            resumed = injector.note_encounter_outcome(
+                encounter.a, encounter.b, now, interrupted
+            )
+            if resumed:
+                stats[0].resumed = True
         for sync_stats in stats:
             self.metrics.record_sync(sync_stats)
+        if injector is not None:
+            for victim in injector.crash_victims((encounter.a, encounter.b)):
+                self.restart_node(victim)
+
+    def restart_node(self, name: str) -> EmulatedNode:
+        """Crash-restart one node and re-attach the emulator's plumbing.
+
+        The node rebuilds itself from durable state
+        (:meth:`EmulatedNode.crash_restart`); the fresh replica and app
+        then need the metrics observer and delivery callback re-wired.
+        """
+        node = self.nodes[name]
+        node.crash_restart()
+        self._wire_node(node)
+        self.metrics.record_crash()
+        return node
 
     def _on_delivery(self, node: EmulatedNode, message) -> None:
         copies = self.count_copies(message.message_id)

@@ -20,12 +20,14 @@ bus that already carries their mail" case.
 
 from __future__ import annotations
 
+import json
 from typing import FrozenSet, Iterable, Optional
 
 from repro.dtn.policy import DTNPolicy
 from repro.messaging.app import MessagingApp
 from repro.replication.filters import MultiAddressFilter
 from repro.replication.ids import ReplicaId
+from repro.replication.persistence import replica_from_state, replica_to_state
 from repro.replication.replica import Replica
 from repro.replication.sync import SyncEndpoint
 
@@ -45,6 +47,7 @@ class EmulatedNode:
         self.name = name
         self._assigned_addresses: FrozenSet[str] = frozenset()
         self._static_relay: FrozenSet[str] = frozenset(static_relay_addresses)
+        self.delete_on_receipt = delete_on_receipt
         self.replica = Replica(
             ReplicaId(name),
             self._build_filter(),
@@ -96,6 +99,34 @@ class EmulatedNode:
             own_address=self.name,
             relay_addresses=self._assigned_addresses | self._static_relay,
         )
+
+    # -- fault injection --------------------------------------------------------------
+
+    def crash_restart(self) -> "EmulatedNode":
+        """Simulate a crash + reboot: only durable state survives.
+
+        The replica is serialised through the persistence layer (with a
+        JSON round-trip, exactly what disk storage would impose) and
+        rebuilt; the routing policy is re-bound to the restored replica
+        and reloads its ``persistent_state()`` through the same JSON
+        round-trip (paper §V-A: routing state is serialised to disk); the
+        messaging app is recreated with its durable delivery log, so old
+        deliveries are not re-announced. Observers registered on the
+        previous replica are gone — callers wiring metrics must re-attach
+        them (the emulator does this in ``restart_node``).
+        """
+        replica_state = json.loads(json.dumps(replica_to_state(self.replica)))
+        policy_state = json.loads(json.dumps(self.policy.persistent_state()))
+        delivery_log = self.app.delivery_log()
+        self.replica = replica_from_state(replica_state)
+        self.policy.bind(self.replica, self.addresses)
+        self.policy.restore_state(policy_state)
+        self.app = MessagingApp(
+            self.replica, self.addresses, delete_on_receipt=self.delete_on_receipt
+        )
+        self.app.restore_delivery_log(delivery_log)
+        self.endpoint = SyncEndpoint(self.replica, self.policy)
+        return self
 
     # -- convenience ------------------------------------------------------------------
 

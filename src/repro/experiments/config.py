@@ -19,6 +19,8 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
+from repro.faults import FaultConfig
+
 #: Default scale used by the figure benchmarks; override with REPRO_SCALE.
 DEFAULT_SCALE = 0.5
 
@@ -74,11 +76,17 @@ class ExperimentConfig:
     # never delete (Fig. 8's worst case); enable to study the effect.
     delete_on_receipt: bool = False
 
+    # Fault injection (repro.faults): None = perfect network, identical
+    # to a config predating the fault subsystem. A disabled FaultConfig
+    # (all probabilities zero) is also bit-for-bit equivalent to None.
+    faults: Optional[FaultConfig] = None
+
     # Determinism knobs.
     assignment_seed: int = 5
     workload_seed: int = 99
     encounter_order_seed: int = 11
     email_seed: int = 7
+    fault_seed: int = 23
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
@@ -125,6 +133,10 @@ class ExperimentConfig:
             self, bandwidth_limit=bandwidth_limit, storage_limit=storage_limit
         )
 
+    def with_faults(self, **knobs: Any) -> "ExperimentConfig":
+        """Arm the fault subsystem (knobs are FaultConfig fields)."""
+        return replace(self, faults=FaultConfig(**knobs))
+
     def label(self) -> str:
         """A short human-readable tag for reports."""
         parts = [self.policy]
@@ -134,4 +146,6 @@ class ExperimentConfig:
             parts.append(f"bw={self.bandwidth_limit}")
         if self.storage_limit is not None:
             parts.append(f"store={self.storage_limit}")
+        if self.faults is not None and self.faults.enabled:
+            parts.append("faults")
         return " ".join(parts)

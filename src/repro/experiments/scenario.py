@@ -180,6 +180,8 @@ def build_scenario(
         assignments=assignments if config.addressing == "user" else None,
         bandwidth_limit=config.bandwidth_limit,
         seed=config.encounter_order_seed,
+        faults=config.faults,
+        fault_seed=config.fault_seed,
     )
     return Scenario(
         config=config,

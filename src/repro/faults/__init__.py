@@ -1,0 +1,57 @@
+"""Fault injection for the replication substrate and the emulation.
+
+The paper's robustness claim — Cimbiosys-style batch ordering lets an
+interrupted sync make durable, monotone progress — is only worth stating
+if it survives actual faults. This package provides the faults:
+
+* :class:`FaultConfig` — declarative, validated description of a failure
+  environment (drop/truncation/duplication/crash probabilities plus the
+  retry backoff policy);
+* the pluggable fault models in :mod:`repro.faults.models`;
+* :class:`FaultyTransport` — the lossy channel the sync engine routes
+  batches through;
+* :class:`FaultInjector` — seeded orchestration with its own RNG stream
+  (fault schedules never perturb the base experiment's randomness) and
+  :class:`ResumeTracker` retry/backoff bookkeeping.
+
+See ``docs/faults.md`` for the model-by-model description and
+``tests/integration/test_fault_invariants.py`` for the randomized
+harness that checks the substrate's guarantees under mixed fault
+schedules.
+"""
+
+from .config import TRUNCATION_UNITS, FaultConfig
+from .injector import (
+    FaultCounters,
+    FaultInjector,
+    Pair,
+    ResumeTracker,
+    RetryState,
+    pair_key,
+)
+from .models import (
+    BatchTruncation,
+    BernoulliEncounterDrop,
+    CrashRestart,
+    EntryDuplication,
+    FaultModel,
+)
+from .transport import DeliveryOutcome, FaultyTransport
+
+__all__ = [
+    "BatchTruncation",
+    "BernoulliEncounterDrop",
+    "CrashRestart",
+    "DeliveryOutcome",
+    "EntryDuplication",
+    "FaultConfig",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultModel",
+    "FaultyTransport",
+    "Pair",
+    "ResumeTracker",
+    "RetryState",
+    "TRUNCATION_UNITS",
+    "pair_key",
+]

@@ -1,0 +1,105 @@
+"""Configuration for the fault-injection subsystem.
+
+A :class:`FaultConfig` is a complete, declarative description of the
+failure environment an emulation runs in: which fault models are armed,
+how aggressive each one is, and how interrupted sessions back off before
+retrying. Like :class:`~repro.experiments.config.ExperimentConfig` it is
+frozen and fully validated at construction, so a config plus a seed is a
+reproducible description of every fault the run will see.
+
+All probabilities default to ``0.0`` — a default-constructed config is
+*disabled* and an emulator given one behaves bit-for-bit like an emulator
+given no fault config at all (the zero-fault equivalence guarantee,
+enforced by ``tests/integration/test_zero_fault_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Truncation budgets may be expressed in batch entries or in wire bytes.
+TRUNCATION_UNITS = ("items", "bytes")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs for every fault model plus the retry/backoff policy.
+
+    Fault models (each armed when its probability is positive):
+
+    * ``encounter_drop_probability`` — Bernoulli drop of a whole
+      encounter: the radio contact happened but no sync ran.
+    * ``truncation_probability`` — per sync session, cut the batch after
+      ``K`` delivered entries (or bytes), ``K`` drawn uniformly from
+      ``[truncation_min, truncation_max]``; the target keeps the prefix.
+    * ``duplication_probability`` — per delivered batch entry, the
+      transport delivers a second copy immediately after the first
+      (link-layer retransmission without acknowledgement).
+    * ``crash_probability`` — per encounter participant, the node crashes
+      after the encounter and restarts from durable state via the
+      persistence layer.
+
+    Retry/backoff bookkeeping (applies to interrupted sessions):
+
+    * ``retry_backoff_base`` — seconds to wait before re-attempting a
+      pair whose last sync was truncated.
+    * ``retry_backoff_factor`` — exponential growth per consecutive
+      interruption.
+    * ``retry_backoff_max`` — cap on the computed delay.
+    """
+
+    encounter_drop_probability: float = 0.0
+    truncation_probability: float = 0.0
+    truncation_min: int = 0
+    truncation_max: Optional[int] = None
+    truncation_unit: str = "items"
+    duplication_probability: float = 0.0
+    crash_probability: float = 0.0
+    retry_backoff_base: float = 60.0
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max: float = 3600.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "encounter_drop_probability",
+            "truncation_probability",
+            "duplication_probability",
+            "crash_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.truncation_unit not in TRUNCATION_UNITS:
+            raise ValueError(
+                f"truncation_unit must be one of {TRUNCATION_UNITS}, "
+                f"got {self.truncation_unit!r}"
+            )
+        if self.truncation_min < 0:
+            raise ValueError("truncation_min must be >= 0")
+        if self.truncation_max is not None and self.truncation_max < self.truncation_min:
+            raise ValueError("truncation_max must be >= truncation_min or None")
+        if self.retry_backoff_base <= 0:
+            raise ValueError("retry_backoff_base must be positive")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError("retry_backoff_factor must be >= 1")
+        if self.retry_backoff_max < self.retry_backoff_base:
+            raise ValueError("retry_backoff_max must be >= retry_backoff_base")
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one fault model can actually fire."""
+        return any(
+            probability > 0.0
+            for probability in (
+                self.encounter_drop_probability,
+                self.truncation_probability,
+                self.duplication_probability,
+                self.crash_probability,
+            )
+        )
+
+    @property
+    def has_transport_faults(self) -> bool:
+        """True when per-batch (truncation/duplication) faults are armed."""
+        return self.truncation_probability > 0.0 or self.duplication_probability > 0.0

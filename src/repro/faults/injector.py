@@ -1,0 +1,195 @@
+"""The fault injector: seeded orchestration of every fault model.
+
+The injector owns its *own* :class:`random.Random`, separate from the
+emulator's encounter-ordering RNG. That separation is the determinism
+contract: arming or disarming faults never perturbs the base experiment's
+random draws, and a (fault config, fault seed) pair replays an identical
+fault schedule against an identical run.
+
+Decision points, in the order the emulation consults them per encounter:
+
+1. :meth:`encounter_allowed` — retry/backoff bookkeeping may veto the
+   attempt (a recently interrupted pair waits out its backoff);
+2. :meth:`should_drop_encounter` — Bernoulli whole-encounter loss;
+3. :meth:`transport` — a per-session lossy channel (truncation and
+   duplication) handed to the sync engine;
+4. :meth:`note_encounter_outcome` — records interruptions (scheduling
+   backoff) and completed resumes;
+5. :meth:`crash_victims` — which participants crash after the encounter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import FaultConfig
+from .models import (
+    BatchTruncation,
+    BernoulliEncounterDrop,
+    CrashRestart,
+    EntryDuplication,
+)
+from .transport import FaultyTransport
+
+#: A host pair, order-normalised so both sync directions share state.
+Pair = Tuple[str, str]
+
+
+def pair_key(a: str, b: str) -> Pair:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class FaultCounters:
+    """Everything the injector did, for metrics and for assertions."""
+
+    dropped_encounters: int = 0
+    backoff_skips: int = 0
+    interrupted_syncs: int = 0
+    resumed_pairs: int = 0
+    crashes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "dropped_encounters": self.dropped_encounters,
+            "backoff_skips": self.backoff_skips,
+            "interrupted_syncs": self.interrupted_syncs,
+            "resumed_pairs": self.resumed_pairs,
+            "crashes": self.crashes,
+        }
+
+
+@dataclass
+class RetryState:
+    """Backoff bookkeeping for one pair with an interrupted session."""
+
+    attempts: int = 0
+    next_attempt: float = 0.0
+
+
+class ResumeTracker:
+    """Tracks interrupted pairs and their exponential retry backoff.
+
+    A pair enters the tracker when a sync between its hosts is truncated;
+    while the backoff window is open, further attempts are skipped. The
+    first completed (un-truncated) encounter after an interruption counts
+    as that pair's *resume* — the substrate's knowledge exchange makes the
+    resume implicit (only the undelivered suffix is re-offered), so the
+    tracker's job is purely scheduling and accounting.
+    """
+
+    def __init__(
+        self, base: float = 60.0, factor: float = 2.0, maximum: float = 3600.0
+    ) -> None:
+        self.base = base
+        self.factor = factor
+        self.maximum = maximum
+        self._pending: Dict[Pair, RetryState] = {}
+
+    def can_attempt(self, pair: Pair, now: float) -> bool:
+        state = self._pending.get(pair)
+        return state is None or now >= state.next_attempt
+
+    def record_interruption(self, pair: Pair, now: float) -> RetryState:
+        state = self._pending.setdefault(pair, RetryState())
+        state.attempts += 1
+        delay = min(self.base * self.factor ** (state.attempts - 1), self.maximum)
+        state.next_attempt = now + delay
+        return state
+
+    def record_completion(self, pair: Pair) -> bool:
+        """Clear a pair after a full sync; True if this completed a resume."""
+        return self._pending.pop(pair, None) is not None
+
+    def is_pending(self, pair: Pair) -> bool:
+        return pair in self._pending
+
+    @property
+    def pending_pairs(self) -> List[Pair]:
+        return sorted(self._pending)
+
+
+class FaultInjector:
+    """Binds fault models, RNG, counters, and resume bookkeeping together."""
+
+    def __init__(self, config: FaultConfig, seed: int = 0) -> None:
+        self.config = config
+        self.rng = random.Random(seed)
+        self.counters = FaultCounters()
+        self.tracker = ResumeTracker(
+            base=config.retry_backoff_base,
+            factor=config.retry_backoff_factor,
+            maximum=config.retry_backoff_max,
+        )
+        self._drop = (
+            BernoulliEncounterDrop(config.encounter_drop_probability)
+            if config.encounter_drop_probability > 0.0
+            else None
+        )
+        self._truncation = (
+            BatchTruncation(
+                config.truncation_probability,
+                minimum=config.truncation_min,
+                maximum=config.truncation_max,
+                unit=config.truncation_unit,
+            )
+            if config.truncation_probability > 0.0
+            else None
+        )
+        self._duplication = (
+            EntryDuplication(config.duplication_probability)
+            if config.duplication_probability > 0.0
+            else None
+        )
+        self._crash = (
+            CrashRestart(config.crash_probability)
+            if config.crash_probability > 0.0
+            else None
+        )
+
+    # -- per-encounter decision points --------------------------------------------
+
+    def encounter_allowed(self, a: str, b: str, now: float) -> bool:
+        """False while the pair's retry backoff window is still open."""
+        if self.tracker.can_attempt(pair_key(a, b), now):
+            return True
+        self.counters.backoff_skips += 1
+        return False
+
+    def should_drop_encounter(self) -> bool:
+        if self._drop is not None and self._drop.should_drop(self.rng):
+            self.counters.dropped_encounters += 1
+            return True
+        return False
+
+    def transport(self) -> Optional[FaultyTransport]:
+        """A fresh lossy channel for one sync session (None = perfect)."""
+        if self._truncation is None and self._duplication is None:
+            return None
+        return FaultyTransport(
+            self.rng, truncation=self._truncation, duplication=self._duplication
+        )
+
+    def note_encounter_outcome(
+        self, a: str, b: str, now: float, interrupted: bool
+    ) -> bool:
+        """Update resume bookkeeping; True when this encounter resumed a pair."""
+        pair = pair_key(a, b)
+        if interrupted:
+            self.counters.interrupted_syncs += 1
+            self.tracker.record_interruption(pair, now)
+            return False
+        if self.tracker.record_completion(pair):
+            self.counters.resumed_pairs += 1
+            return True
+        return False
+
+    def crash_victims(self, participants: Sequence[str]) -> List[str]:
+        """Which encounter participants crash afterwards (stable order)."""
+        if self._crash is None:
+            return []
+        victims = self._crash.pick_victims(sorted(participants), self.rng)
+        self.counters.crashes += len(victims)
+        return victims

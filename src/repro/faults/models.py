@@ -1,0 +1,137 @@
+"""The pluggable fault models.
+
+Each model is a small, stateless decision procedure: it is handed the
+injector's RNG at every decision point and draws from it in a fixed
+order, so a (config, seed) pair replays the exact same fault schedule.
+Models never touch replicas or metrics themselves — the injector and the
+emulation layer act on their decisions — which keeps them unit-testable
+and lets alternative models plug in without touching the sync engine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+
+class FaultModel:
+    """Base class: a named fault model with a firing probability."""
+
+    name = "fault"
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability!r}")
+        self.probability = probability
+
+    def fires(self, rng: random.Random) -> bool:
+        """One Bernoulli draw. Zero-probability models never consume RNG."""
+        if self.probability <= 0.0:
+            return False
+        return rng.random() < self.probability
+
+    def describe(self) -> Dict[str, object]:
+        return {"model": self.name, "probability": self.probability}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(p={self.probability})"
+
+
+class BernoulliEncounterDrop(FaultModel):
+    """Drop a whole encounter: contact established, no sync completed."""
+
+    name = "encounter-drop"
+
+    def should_drop(self, rng: random.Random) -> bool:
+        return self.fires(rng)
+
+
+class BatchTruncation(FaultModel):
+    """Cut a sync batch after K entries (or bytes): connection died mid-batch.
+
+    ``minimum``/``maximum`` bound the delivered budget; ``unit`` selects
+    whether the budget counts batch entries (``"items"``) or wire bytes
+    (``"bytes"``). With ``maximum=None`` the budget ranges up to one unit
+    short of the full batch, so a firing truncation always loses something.
+    """
+
+    name = "batch-truncation"
+
+    def __init__(
+        self,
+        probability: float,
+        minimum: int = 0,
+        maximum: Optional[int] = None,
+        unit: str = "items",
+    ) -> None:
+        super().__init__(probability)
+        if minimum < 0:
+            raise ValueError("minimum must be >= 0")
+        if maximum is not None and maximum < minimum:
+            raise ValueError("maximum must be >= minimum or None")
+        if unit not in ("items", "bytes"):
+            raise ValueError(f"unit must be 'items' or 'bytes', got {unit!r}")
+        self.minimum = minimum
+        self.maximum = maximum
+        self.unit = unit
+
+    def plan_cut(
+        self, entry_sizes: Sequence[int], rng: random.Random
+    ) -> Optional[int]:
+        """Decide how many leading entries survive, or None for no fault.
+
+        ``entry_sizes`` gives the cost of each batch entry in this model's
+        unit (all 1 for item counting, wire bytes otherwise). The budget K
+        is drawn uniformly from ``[minimum, maximum]`` (clamped so the cut
+        is a strict truncation), and the delivered prefix is the longest
+        one whose total size fits within K.
+        """
+        if not entry_sizes or not self.fires(rng):
+            return None
+        total = sum(entry_sizes)
+        high = total - 1 if self.maximum is None else min(self.maximum, total - 1)
+        if high < 0:
+            return None
+        low = min(self.minimum, high)
+        budget = rng.randint(low, high)
+        delivered = 0
+        consumed = 0
+        for size in entry_sizes:
+            if consumed + size > budget:
+                break
+            consumed += size
+            delivered += 1
+        if delivered >= len(entry_sizes):
+            return None
+        return delivered
+
+    def describe(self) -> Dict[str, object]:
+        description = super().describe()
+        description.update(
+            {"minimum": self.minimum, "maximum": self.maximum, "unit": self.unit}
+        )
+        return description
+
+
+class EntryDuplication(FaultModel):
+    """Deliver some batch entries twice: retransmission without dedup."""
+
+    name = "entry-duplication"
+
+    def duplicate_mask(self, count: int, rng: random.Random) -> List[bool]:
+        """One independent draw per delivered entry, in batch order."""
+        if self.probability <= 0.0:
+            return [False] * count
+        return [rng.random() < self.probability for _ in range(count)]
+
+
+class CrashRestart(FaultModel):
+    """Crash a node after an encounter; it restarts from durable state."""
+
+    name = "crash-restart"
+
+    def pick_victims(
+        self, participants: Sequence[str], rng: random.Random
+    ) -> List[str]:
+        """Independent per-participant draws, in the given (stable) order."""
+        return [name for name in participants if self.fires(rng)]

@@ -1,0 +1,81 @@
+"""A faulty transport: the lossy channel between build_batch and apply_batch.
+
+The sync engine (:mod:`repro.replication.sync`) hands a fully built batch
+to the transport; what comes out the other side is what the target
+actually receives. A transport may truncate the batch (losing a suffix)
+and duplicate individual entries (delivering some twice). The delivered
+sequence preserves batch order — the channel reorders nothing, matching
+the in-order stream semantics the protocol's monotone-progress argument
+relies on.
+
+With no transport (the default everywhere), delivery is perfect and the
+sync engine behaves exactly as before the fault subsystem existed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.replication.codec import encode_item, wire_size
+
+from .models import BatchTruncation, EntryDuplication
+
+
+@dataclass
+class DeliveryOutcome:
+    """What the channel did to one batch."""
+
+    delivered: List[object] = field(default_factory=list)
+    sent: int = 0
+    truncated: bool = False
+    lost: int = 0
+    duplicated: int = 0
+
+
+class FaultyTransport:
+    """Applies truncation and duplication models to each transmitted batch.
+
+    One transport instance mediates one sync session; the injector mints a
+    fresh one per session so per-session decisions stay independent while
+    sharing the injector's seeded RNG stream.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        truncation: Optional[BatchTruncation] = None,
+        duplication: Optional[EntryDuplication] = None,
+    ) -> None:
+        self._rng = rng
+        self._truncation = truncation
+        self._duplication = duplication
+
+    def _entry_sizes(self, batch: Sequence[object]) -> List[int]:
+        assert self._truncation is not None
+        if self._truncation.unit == "bytes":
+            return [wire_size(encode_item(entry.item)) for entry in batch]
+        return [1] * len(batch)
+
+    def deliver(self, batch: Sequence[object]) -> DeliveryOutcome:
+        """Run one batch through the channel, in order."""
+        outcome = DeliveryOutcome(sent=len(batch))
+        delivered: List[object] = list(batch)
+        if self._truncation is not None and delivered:
+            cut = self._truncation.plan_cut(self._entry_sizes(delivered), self._rng)
+            if cut is not None:
+                outcome.truncated = True
+                outcome.lost = len(delivered) - cut
+                delivered = delivered[:cut]
+        if self._duplication is not None and delivered:
+            mask = self._duplication.duplicate_mask(len(delivered), self._rng)
+            doubled: List[object] = []
+            for entry, again in zip(delivered, mask):
+                doubled.append(entry)
+                if again:
+                    doubled.append(entry)
+                    outcome.duplicated += 1
+            delivered = doubled
+        outcome.delivered = delivered
+        return outcome

@@ -134,6 +134,20 @@ class MessagingApp:
     def has_received(self, message_id: ItemId) -> bool:
         return message_id in self._delivered
 
+    def delivery_log(self) -> Dict[ItemId, Message]:
+        """Snapshot of the delivered-message log, in delivery order.
+
+        The log is application-durable state: a host that checkpoints and
+        restarts must not re-announce old deliveries, so the node layer
+        saves this alongside the replica and feeds it back through
+        :meth:`restore_delivery_log`.
+        """
+        return dict(self._delivered)
+
+    def restore_delivery_log(self, log: Dict[ItemId, Message]) -> None:
+        """Restore a :meth:`delivery_log` snapshot (no callbacks fire)."""
+        self._delivered.update(log)
+
     def re_scan(self) -> None:
         """Re-check stored items against the current address set.
 

@@ -36,9 +36,23 @@ from .codec import (
 )
 from .ids import ReplicaId
 from .replica import Replica
+from .store import EVICTION_STRATEGIES
 
 #: Format marker so future layout changes can be detected on load.
 STATE_FORMAT = "repro.replica-state.v1"
+
+
+def _eviction_strategy_name(replica: Replica) -> Optional[str]:
+    """The registered name of the relay store's eviction strategy.
+
+    Custom callables have no serialisable name and checkpoint as None;
+    loading falls back to the default (FIFO) strategy.
+    """
+    strategy = replica._relay.strategy
+    for name, registered in EVICTION_STRATEGIES.items():
+        if registered is strategy:
+            return name
+    return None
 
 
 def replica_to_state(replica: Replica) -> Dict[str, Any]:
@@ -48,6 +62,7 @@ def replica_to_state(replica: Replica) -> Dict[str, Any]:
         "replica": replica.replica_id.name,
         "filter": encode_filter(replica.filter),
         "relay_capacity": replica._relay.capacity,
+        "relay_eviction": _eviction_strategy_name(replica),
         "knowledge": encode_knowledge(replica.knowledge),
         "ids": replica._ids.snapshot(),
         "in_filter": [encode_item(item) for item in replica._store.items()],
@@ -70,6 +85,7 @@ def replica_from_state(state: Dict[str, Any]) -> Replica:
         ReplicaId(state["replica"]),
         decode_filter(state["filter"]),
         relay_capacity=state.get("relay_capacity"),
+        relay_eviction=state.get("relay_eviction") or "fifo",
     )
     replica._ids.restore(state["ids"])
     replica.knowledge = decode_knowledge(state["knowledge"])

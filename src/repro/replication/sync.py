@@ -83,7 +83,16 @@ class BatchEntry:
 
 @dataclass
 class SyncStats:
-    """Counters describing one sync session, consumed by the metrics layer."""
+    """Counters describing one sync session, consumed by the metrics layer.
+
+    ``truncated`` counts items dropped by the *bandwidth cap* before
+    transmission (Figure 9); the transit-fault fields describe what the
+    channel did to the items that were actually sent: ``received_total``
+    items stored by the target, ``lost_in_transit`` items cut off by an
+    interrupted transfer, ``redundant_received`` duplicate deliveries the
+    target recognised and discarded, and ``interrupted`` marking a session
+    whose batch was truncated mid-transfer (the next encounter resumes it).
+    """
 
     source: ReplicaId
     target: ReplicaId
@@ -92,11 +101,21 @@ class SyncStats:
     sent_matching: int = 0
     sent_relayed: int = 0
     truncated: int = 0
+    received_total: int = 0
+    lost_in_transit: int = 0
+    redundant_received: int = 0
+    interrupted: bool = False
+    resumed: bool = False
     delivered_items: List[Item] = field(default_factory=list)
 
     @property
     def transmissions(self) -> int:
         return self.sent_total
+
+    @property
+    def completed(self) -> bool:
+        """True when every transmitted item reached the target."""
+        return not self.interrupted
 
 
 def build_request(target: SyncEndpoint, context: SyncContext) -> SyncRequest:
@@ -169,11 +188,32 @@ def build_batch(
 
 
 def apply_batch(
-    target: SyncEndpoint, batch: List[BatchEntry], stats: SyncStats
+    target: SyncEndpoint,
+    batch: List[BatchEntry],
+    stats: SyncStats,
+    tolerate_duplicates: bool = False,
 ) -> SyncStats:
-    """Target side, step 2: store every received item and update knowledge."""
+    """Target side, step 2: store every received item and update knowledge.
+
+    Knowledge commits *per item*, in received order — this is the monotone
+    progress property: if the stream of entries is cut at any point, the
+    delivered prefix is durably received and only the lost suffix remains
+    unknown (to be offered again at the next encounter).
+
+    ``tolerate_duplicates`` selects the transport contract. Over a perfect
+    channel (the default) an already-known version is a protocol bug and
+    :meth:`~repro.replication.replica.Replica.apply_remote` raises; over a
+    lossy channel duplicated delivery is expected, so known versions are
+    counted as redundant receptions and skipped.
+    """
     for entry in batch:
+        if tolerate_duplicates and target.replica.knowledge.contains(
+            entry.item.version
+        ):
+            stats.redundant_received += 1
+            continue
         matched = target.replica.apply_remote(entry.item)
+        stats.received_total += 1
         if matched:
             stats.delivered_items.append(entry.item)
     return stats
@@ -184,8 +224,16 @@ def perform_sync(
     target: SyncEndpoint,
     now: float = 0.0,
     max_items: Optional[int] = None,
+    transport: Optional[Any] = None,
 ) -> SyncStats:
-    """Run one complete sync session: ``target`` pulls from ``source``."""
+    """Run one complete sync session: ``target`` pulls from ``source``.
+
+    ``transport``, when given, mediates batch delivery (duck-typed to
+    :class:`repro.faults.FaultyTransport`): it may truncate the batch —
+    the target then commits knowledge for exactly the delivered prefix and
+    the session is marked ``interrupted`` — and it may duplicate entries,
+    which the target tolerates and counts as redundant receptions.
+    """
     target_context = SyncContext(
         local=target.replica_id, remote=source.replica_id, now=now
     )
@@ -194,7 +242,12 @@ def perform_sync(
     )
     request = build_request(target, target_context)
     batch, stats = build_batch(source, request, source_context, max_items=max_items)
-    return apply_batch(target, batch, stats)
+    if transport is None:
+        return apply_batch(target, batch, stats)
+    outcome = transport.deliver(batch)
+    stats.interrupted = outcome.truncated
+    stats.lost_in_transit = outcome.lost
+    return apply_batch(target, outcome.delivered, stats, tolerate_duplicates=True)
 
 
 def perform_encounter(
@@ -202,6 +255,7 @@ def perform_encounter(
     second: SyncEndpoint,
     now: float = 0.0,
     max_items_per_encounter: Optional[int] = None,
+    transport_factory: Optional[Any] = None,
 ) -> List[SyncStats]:
     """Run one encounter: two syncs with alternating source/target roles.
 
@@ -213,6 +267,10 @@ def perform_encounter(
     ``max_items_per_encounter`` is the Figure 9 bandwidth constraint: a
     budget on total items moved across both syncs. The first sync (with
     ``first`` as source) consumes budget before the second.
+
+    ``transport_factory``, when given, is called once per sync session
+    with ``(source_id, target_id)`` and returns the (possibly faulty)
+    channel for that session, or None for perfect delivery.
     """
     first_context = SyncContext(
         local=first.replica_id, remote=second.replica_id, now=now
@@ -223,9 +281,26 @@ def perform_encounter(
     first.policy.on_encounter_start(first_context)
     second.policy.on_encounter_start(second_context)
 
+    def channel(source: SyncEndpoint, target: SyncEndpoint) -> Optional[Any]:
+        if transport_factory is None:
+            return None
+        return transport_factory(source.replica_id, target.replica_id)
+
     budget = max_items_per_encounter
-    stats_a = perform_sync(source=first, target=second, now=now, max_items=budget)
+    stats_a = perform_sync(
+        source=first,
+        target=second,
+        now=now,
+        max_items=budget,
+        transport=channel(first, second),
+    )
     if budget is not None:
         budget = max(0, budget - stats_a.sent_total)
-    stats_b = perform_sync(source=second, target=first, now=now, max_items=budget)
+    stats_b = perform_sync(
+        source=second,
+        target=first,
+        now=now,
+        max_items=budget,
+        transport=channel(second, first),
+    )
     return [stats_a, stats_b]

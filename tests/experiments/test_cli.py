@@ -85,6 +85,39 @@ class TestRunCommand:
         )
         assert "selected+2" in capsys.readouterr().out
 
+    def test_fault_flags_arm_the_injector(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--scale",
+                    "0.25",
+                    "--policy",
+                    "epidemic",
+                    "--fault-truncation",
+                    "0.5",
+                    "--fault-drop",
+                    "0.2",
+                    "--fault-seed",
+                    "31",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "epidemic faults" in out
+        assert "fault counters (fault seed 31):" in out
+        assert "interrupted_syncs" in out
+
+    def test_zero_fault_flags_omit_counters(self, capsys):
+        assert main(["run", "--scale", "0.25"]) == 0
+        assert "fault counters" not in capsys.readouterr().out
+
+    def test_invalid_fault_probability_rejected(self, capsys):
+        assert main(["run", "--scale", "0.25", "--fault-drop", "1.5"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "encounter_drop_probability" in err
+
 
 class TestFigureCommand:
     def test_single_figure(self, capsys):

@@ -1,0 +1,70 @@
+"""FaultConfig validation and the enabled/disabled distinction."""
+
+import pytest
+
+from repro.faults import FaultConfig
+
+
+class TestValidation:
+    def test_default_is_valid_and_disabled(self):
+        config = FaultConfig()
+        assert not config.enabled
+        assert not config.has_transport_faults
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "encounter_drop_probability",
+            "truncation_probability",
+            "duplication_probability",
+            "crash_probability",
+        ],
+    )
+    def test_probabilities_validated(self, field):
+        with pytest.raises(ValueError):
+            FaultConfig(**{field: 1.5})
+        with pytest.raises(ValueError):
+            FaultConfig(**{field: -0.1})
+
+    def test_truncation_bounds_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(truncation_min=-1)
+        with pytest.raises(ValueError):
+            FaultConfig(truncation_min=5, truncation_max=4)
+        FaultConfig(truncation_min=5, truncation_max=5)  # equal is fine
+
+    def test_truncation_unit_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(truncation_unit="packets")
+        FaultConfig(truncation_unit="bytes")
+
+    def test_backoff_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(retry_backoff_base=0.0)
+        with pytest.raises(ValueError):
+            FaultConfig(retry_backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            FaultConfig(retry_backoff_base=100.0, retry_backoff_max=50.0)
+
+
+class TestEnabled:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "encounter_drop_probability",
+            "truncation_probability",
+            "duplication_probability",
+            "crash_probability",
+        ],
+    )
+    def test_any_positive_probability_enables(self, field):
+        assert FaultConfig(**{field: 0.1}).enabled
+
+    def test_transport_faults_flag(self):
+        assert FaultConfig(truncation_probability=0.5).has_transport_faults
+        assert FaultConfig(duplication_probability=0.5).has_transport_faults
+        assert not FaultConfig(encounter_drop_probability=1.0).has_transport_faults
+        assert not FaultConfig(crash_probability=1.0).has_transport_faults
+
+    def test_backoff_knobs_alone_do_not_enable(self):
+        assert not FaultConfig(retry_backoff_base=5.0).enabled

@@ -1,0 +1,124 @@
+"""FaultInjector orchestration: seeding, counters, and resume/backoff."""
+
+from repro.faults import FaultConfig, FaultInjector, ResumeTracker, pair_key
+
+
+def injector(seed=0, **knobs):
+    return FaultInjector(FaultConfig(**knobs), seed=seed)
+
+
+class TestPairKey:
+    def test_order_normalised(self):
+        assert pair_key("b", "a") == ("a", "b") == pair_key("a", "b")
+
+
+class TestDropDecisions:
+    def test_no_model_never_drops(self):
+        inj = injector(crash_probability=0.5)  # enabled, but no drop model
+        assert not any(inj.should_drop_encounter() for _ in range(50))
+        assert inj.counters.dropped_encounters == 0
+
+    def test_certain_drop_counts(self):
+        inj = injector(encounter_drop_probability=1.0)
+        assert inj.should_drop_encounter()
+        assert inj.counters.dropped_encounters == 1
+
+    def test_same_seed_same_schedule(self):
+        first = injector(seed=4, encounter_drop_probability=0.4)
+        second = injector(seed=4, encounter_drop_probability=0.4)
+        decisions_a = [first.should_drop_encounter() for _ in range(100)]
+        decisions_b = [second.should_drop_encounter() for _ in range(100)]
+        assert decisions_a == decisions_b
+
+
+class TestTransportMinting:
+    def test_none_without_transport_faults(self):
+        assert injector(encounter_drop_probability=0.5).transport() is None
+        assert injector(crash_probability=0.5).transport() is None
+
+    def test_transport_when_truncation_armed(self):
+        assert injector(truncation_probability=0.5).transport() is not None
+
+    def test_transport_when_duplication_armed(self):
+        assert injector(duplication_probability=0.5).transport() is not None
+
+
+class TestCrashVictims:
+    def test_stable_order_and_counting(self):
+        inj = injector(crash_probability=1.0)
+        assert inj.crash_victims(("zeta", "alpha")) == ["alpha", "zeta"]
+        assert inj.counters.crashes == 2
+
+    def test_no_model_no_victims(self):
+        inj = injector(truncation_probability=1.0)
+        assert inj.crash_victims(("a", "b")) == []
+
+
+class TestResumeTracker:
+    def test_unknown_pair_can_always_attempt(self):
+        tracker = ResumeTracker()
+        assert tracker.can_attempt(("a", "b"), 0.0)
+
+    def test_interruption_opens_backoff_window(self):
+        tracker = ResumeTracker(base=60.0, factor=2.0, maximum=3600.0)
+        tracker.record_interruption(("a", "b"), now=100.0)
+        assert not tracker.can_attempt(("a", "b"), 150.0)
+        assert tracker.can_attempt(("a", "b"), 160.0)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        tracker = ResumeTracker(base=60.0, factor=2.0, maximum=200.0)
+        state = tracker.record_interruption(("a", "b"), now=0.0)
+        assert state.next_attempt == 60.0
+        state = tracker.record_interruption(("a", "b"), now=0.0)
+        assert state.next_attempt == 120.0
+        state = tracker.record_interruption(("a", "b"), now=0.0)
+        assert state.next_attempt == 200.0  # capped, not 240
+        state = tracker.record_interruption(("a", "b"), now=0.0)
+        assert state.next_attempt == 200.0
+
+    def test_completion_clears_and_reports_resume(self):
+        tracker = ResumeTracker()
+        tracker.record_interruption(("a", "b"), now=0.0)
+        assert tracker.is_pending(("a", "b"))
+        assert tracker.record_completion(("a", "b"))
+        assert not tracker.is_pending(("a", "b"))
+        assert not tracker.record_completion(("a", "b"))  # second time: no
+
+    def test_pending_pairs_sorted(self):
+        tracker = ResumeTracker()
+        tracker.record_interruption(("x", "y"), 0.0)
+        tracker.record_interruption(("a", "b"), 0.0)
+        assert tracker.pending_pairs == [("a", "b"), ("x", "y")]
+
+
+class TestEncounterOutcomeBookkeeping:
+    def test_interruption_then_resume_cycle(self):
+        inj = injector(truncation_probability=1.0, retry_backoff_base=30.0)
+        resumed = inj.note_encounter_outcome("a", "b", now=0.0, interrupted=True)
+        assert not resumed
+        assert inj.counters.interrupted_syncs == 1
+        # Backoff window blocks the pair, then re-opens.
+        assert not inj.encounter_allowed("a", "b", 10.0)
+        assert inj.counters.backoff_skips == 1
+        assert inj.encounter_allowed("b", "a", 31.0)  # order-insensitive
+        resumed = inj.note_encounter_outcome("a", "b", now=31.0, interrupted=False)
+        assert resumed
+        assert inj.counters.resumed_pairs == 1
+
+    def test_completion_without_pending_is_not_a_resume(self):
+        inj = injector(truncation_probability=1.0)
+        assert not inj.note_encounter_outcome("a", "b", 0.0, interrupted=False)
+        assert inj.counters.resumed_pairs == 0
+
+    def test_repeated_interruptions_grow_attempts(self):
+        inj = injector(
+            truncation_probability=1.0,
+            retry_backoff_base=10.0,
+            retry_backoff_factor=3.0,
+            retry_backoff_max=1000.0,
+        )
+        inj.note_encounter_outcome("a", "b", 0.0, interrupted=True)
+        inj.note_encounter_outcome("a", "b", 10.0, interrupted=True)
+        state = inj.tracker.record_interruption(pair_key("a", "b"), 40.0)
+        assert state.attempts == 3
+        assert state.next_attempt == 40.0 + 10.0 * 3.0**2

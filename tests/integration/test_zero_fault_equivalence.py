@@ -1,0 +1,64 @@
+"""Zero-fault equivalence: with all fault models disabled, every Table 1
+policy produces metrics identical to a run with no fault subsystem at all.
+This protects the sync-protocol refactor (the transport hook, per-item
+receive accounting, tolerant duplicate handling) — fault-free behaviour
+must be bit-for-bit what it was before the subsystem existed."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.faults import FaultConfig
+
+#: Table I's four DTN policies plus the unmodified-Cimbiosys baseline.
+TABLE_1_POLICIES = ["cimbiosys", "epidemic", "spray", "prophet", "maxprop"]
+
+SMALL = ExperimentConfig(scale=0.25)
+
+
+def summary_bytes(result):
+    return json.dumps(result.summary(), sort_keys=True).encode()
+
+
+def record_fingerprint(result):
+    return [
+        (
+            str(record.message_id),
+            record.injected_at,
+            record.delivered_at,
+            record.delivered_node,
+            record.copies_at_delivery,
+            record.copies_at_end,
+        )
+        for record in result.metrics.records.values()
+    ]
+
+
+@pytest.mark.parametrize("policy", TABLE_1_POLICIES)
+def test_disabled_faults_equal_no_faults(policy):
+    without = run_experiment(SMALL.with_policy(policy))
+    with_disabled = run_experiment(
+        SMALL.with_policy(policy).with_faults()  # all probabilities zero
+    )
+    assert summary_bytes(without) == summary_bytes(with_disabled)
+    assert record_fingerprint(without) == record_fingerprint(with_disabled)
+
+
+def test_disabled_faults_report_zero_fault_counters():
+    metrics = run_experiment(SMALL.with_faults()).metrics
+    assert metrics.dropped_encounters == 0
+    assert metrics.backoff_skips == 0
+    assert metrics.interrupted_syncs == 0
+    assert metrics.resumed_syncs == 0
+    assert metrics.crashes == 0
+    assert metrics.lost_transmissions == 0
+    assert metrics.redundant_transmissions == 0
+
+
+def test_label_untouched_when_disabled():
+    assert SMALL.with_faults().label() == "cimbiosys"
+    assert (
+        SMALL.with_faults(truncation_probability=0.5).label() == "cimbiosys faults"
+    )
