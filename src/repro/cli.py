@@ -145,7 +145,7 @@ FAULT_COUNTER_KEYS = (
     "dropped_encounters",
     "backoff_skips",
     "interrupted_syncs",
-    "resumed_syncs",
+    "resumed_pairs",
     "crashes",
     "lost_transmissions",
     "redundant_transmissions",

@@ -18,7 +18,9 @@ Implementation notes:
   substrate's at-most-once guarantee;
 * the origin keeps its copy until the first hand-off (it authored the
   item; dropping that would risk total loss if the transfer failed —
-  we drop only after ``on_items_sent`` confirms the batch).
+  we drop only after ``on_items_sent`` confirms *delivery*: over a lossy
+  transport the hook reports exactly the entries that reached the
+  target, so a copy lost in transit stays stored and re-offerable).
 """
 
 from __future__ import annotations
@@ -49,13 +51,16 @@ class FirstContactPolicy(DTNPolicy):
         return self.normal()
 
     def on_items_sent(self, items: List[Item], context: SyncContext) -> None:
-        """Hand-off complete: drop the local copies of forwarded messages.
+        """Hand-off complete: drop the local copies of *delivered* messages.
 
-        Items that matched the target's filter were *delivered*, not
-        relayed; the destination's copy is theirs and ours is dropped all
-        the same — a delivered message needs no further carrying (the
-        origin's copy is released too, which is First Contact's single-
-        copy semantics rather than the substrate default).
+        ``items`` contains only the entries the channel actually carried,
+        so an interrupted transfer never expunges the sole copy of a
+        message that was lost in transit. Items that matched the target's
+        filter were *delivered*, not relayed; the destination's copy is
+        theirs and ours is dropped all the same — a delivered message
+        needs no further carrying (the origin's copy is released too,
+        which is First Contact's single-copy semantics rather than the
+        substrate default).
         """
         for item in items:
             stored = self.replica.get_item(item.item_id)

@@ -81,7 +81,12 @@ class SprayAndWaitPolicy(DTNPolicy):
         return outgoing.with_local(**{COPIES_ATTRIBUTE: int(copies) // 2})
 
     def on_items_sent(self, items: List[Item], context: SyncContext) -> None:
-        """Halve the stored budget of every sprayed message (keep ⌈n/2⌉)."""
+        """Halve the stored budget of every *delivered* spray (keep ⌈n/2⌉).
+
+        Entries a faulty transport lost never reach this hook, so their
+        budget stays intact locally — no copies are destroyed without a
+        replica receiving them, keeping the total budget conserved.
+        """
         for sent in items:
             stored = self.replica.get_item(sent.item_id)
             if stored is None or stored.version != sent.version:

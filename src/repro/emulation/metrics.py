@@ -64,12 +64,14 @@ class MetricsCollector:
     evictions: int = 0
     # Fault-injection accounting (all zero in fault-free runs): encounters
     # the fault model dropped outright or deferred to a backoff window,
-    # sessions interrupted mid-batch, pairs that later resumed, node
-    # crash-restarts, and transmissions lost in transit or delivered twice.
+    # sessions interrupted mid-batch, pairs whose first complete encounter
+    # after an interruption resumed them (an encounter/pair-level count,
+    # not per session), node crash-restarts, and transmissions lost in
+    # transit or delivered twice.
     dropped_encounters: int = 0
     backoff_skips: int = 0
     interrupted_syncs: int = 0
-    resumed_syncs: int = 0
+    resumed_pairs: int = 0
     crashes: int = 0
     lost_transmissions: int = 0
     redundant_transmissions: int = 0
@@ -115,8 +117,6 @@ class MetricsCollector:
         self.redundant_transmissions += stats.redundant_received
         if stats.interrupted:
             self.interrupted_syncs += 1
-        if stats.resumed:
-            self.resumed_syncs += 1
 
     def record_encounter(self) -> None:
         self.encounters += 1
@@ -129,6 +129,10 @@ class MetricsCollector:
 
     def record_backoff_skip(self) -> None:
         self.backoff_skips += 1
+
+    def record_resumed_pair(self) -> None:
+        """One pair's first complete encounter after an interruption."""
+        self.resumed_pairs += 1
 
     def record_crash(self) -> None:
         self.crashes += 1
@@ -262,7 +266,7 @@ class MetricsCollector:
             "dropped_encounters": float(self.dropped_encounters),
             "backoff_skips": float(self.backoff_skips),
             "interrupted_syncs": float(self.interrupted_syncs),
-            "resumed_syncs": float(self.resumed_syncs),
+            "resumed_pairs": float(self.resumed_pairs),
             "crashes": float(self.crashes),
             "lost_transmissions": float(self.lost_transmissions),
             "redundant_transmissions": float(self.redundant_transmissions),

@@ -229,7 +229,7 @@ class Emulator:
                 encounter.a, encounter.b, now, interrupted
             )
             if resumed:
-                stats[0].resumed = True
+                self.metrics.record_resumed_pair()
         for sync_stats in stats:
             self.metrics.record_sync(sync_stats)
         if injector is not None:

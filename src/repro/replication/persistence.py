@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import warnings
 from typing import Any, Dict, Optional, Union
 
 from .codec import (
@@ -46,12 +47,22 @@ def _eviction_strategy_name(replica: Replica) -> Optional[str]:
     """The registered name of the relay store's eviction strategy.
 
     Custom callables have no serialisable name and checkpoint as None;
-    loading falls back to the default (FIFO) strategy.
+    loading falls back to the default (FIFO) strategy. That silently
+    changes eviction behaviour across a crash-restart, so checkpointing
+    an unregistered strategy warns — register the callable in
+    :data:`~repro.replication.store.EVICTION_STRATEGIES` to keep it.
     """
     strategy = replica._relay.strategy
     for name, registered in EVICTION_STRATEGIES.items():
         if registered is strategy:
             return name
+    warnings.warn(
+        f"replica {replica.replica_id.name!r} uses an eviction strategy "
+        f"({strategy!r}) not registered in EVICTION_STRATEGIES; the "
+        "checkpoint cannot name it and a restore will fall back to FIFO. "
+        "Register the strategy under a name to preserve it across restarts.",
+        stacklevel=3,
+    )
     return None
 
 

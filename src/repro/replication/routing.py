@@ -143,11 +143,14 @@ class RoutingPolicy(ABC):
         """
 
     def on_items_sent(self, items: list[Item], context: SyncContext) -> None:
-        """Hook invoked on the source after the batch is finalised.
+        """Hook invoked on the source once delivery is confirmed.
 
+        ``items`` holds exactly the batch entries the channel actually
+        carried to the target, each once — over a lossy transport a cut
+        suffix never appears here, and a duplicated entry appears once.
         Gives copy-budget protocols (Spray and Wait) a place to adjust the
-        locally stored copies of forwarded items, and MaxProp a place to
-        extend hop lists.
+        locally stored copies of forwarded items, and single-copy
+        protocols (First Contact) a safe point to release theirs.
         """
 
     def prepare_outgoing(self, item: Item, context: SyncContext) -> Item:

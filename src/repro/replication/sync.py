@@ -105,7 +105,6 @@ class SyncStats:
     lost_in_transit: int = 0
     redundant_received: int = 0
     interrupted: bool = False
-    resumed: bool = False
     delivered_items: List[Item] = field(default_factory=list)
 
     @property
@@ -142,6 +141,11 @@ def build_batch(
     policy's ``to_send`` is consulted. The final batch is sorted by
     priority (stable, so equal priorities keep store order) and truncated
     to ``max_items`` when a bandwidth cap applies.
+
+    Building does **not** fire ``on_items_sent`` — the channel has not
+    carried anything yet. :func:`perform_sync` invokes the hook with the
+    entries that were actually delivered; callers assembling the protocol
+    by hand must do the same once delivery is confirmed.
     """
     stats = SyncStats(source=source.replica_id, target=request.target_id)
     source.policy.process_req(request.routing_state, context)
@@ -179,8 +183,6 @@ def build_batch(
         )
         for entry in entries
     ]
-    source.policy.on_items_sent([entry.item for entry in prepared], context)
-
     stats.sent_total = len(prepared)
     stats.sent_matching = sum(1 for entry in prepared if entry.matched_filter)
     stats.sent_relayed = stats.sent_total - stats.sent_matching
@@ -219,6 +221,19 @@ def apply_batch(
     return stats
 
 
+def _each_entry_once(delivered: List[BatchEntry]) -> List[BatchEntry]:
+    """The delivered entries with channel duplicates collapsed, in order."""
+    seen = set()
+    unique: List[BatchEntry] = []
+    for entry in delivered:
+        key = (entry.item.item_id, entry.item.version)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(entry)
+    return unique
+
+
 def perform_sync(
     source: SyncEndpoint,
     target: SyncEndpoint,
@@ -233,6 +248,12 @@ def perform_sync(
     the target then commits knowledge for exactly the delivered prefix and
     the session is marked ``interrupted`` — and it may duplicate entries,
     which the target tolerates and counts as redundant receptions.
+
+    ``on_items_sent`` fires only for entries the channel actually carried
+    (each once, however many times it was duplicated): a policy that
+    releases its stored copy on hand-off (First Contact) or spends a copy
+    budget (Spray and Wait) must not pay for items lost in transit —
+    those stay stored and re-offerable, preserving monotone progress.
     """
     target_context = SyncContext(
         local=target.replica_id, remote=source.replica_id, now=now
@@ -243,10 +264,17 @@ def perform_sync(
     request = build_request(target, target_context)
     batch, stats = build_batch(source, request, source_context, max_items=max_items)
     if transport is None:
+        source.policy.on_items_sent(
+            [entry.item for entry in batch], source_context
+        )
         return apply_batch(target, batch, stats)
     outcome = transport.deliver(batch)
     stats.interrupted = outcome.truncated
     stats.lost_in_transit = outcome.lost
+    delivered_once = _each_entry_once(outcome.delivered)
+    source.policy.on_items_sent(
+        [entry.item for entry in delivered_once], source_context
+    )
     return apply_batch(target, outcome.delivered, stats, tolerate_duplicates=True)
 
 

@@ -64,7 +64,7 @@ class TestTruncationAndResume:
         metrics = emulator.run()
         assert metrics.interrupted_syncs > 0
         assert metrics.lost_transmissions > 0
-        assert metrics.resumed_syncs > 0
+        assert metrics.resumed_pairs > 0
         assert metrics.delivered == 5
 
     def test_backoff_skips_encounters(self):

@@ -4,7 +4,13 @@ delivered prefix."""
 
 import random
 
-from repro.dtn import EpidemicPolicy
+from repro.dtn import (
+    COPIES_ATTRIBUTE,
+    DEFAULT_COPIES,
+    EpidemicPolicy,
+    FirstContactPolicy,
+    SprayAndWaitPolicy,
+)
 from repro.faults import BatchTruncation, EntryDuplication, FaultyTransport
 from repro.replication import (
     AddressFilter,
@@ -15,9 +21,9 @@ from repro.replication import (
 )
 
 
-def host(name):
+def host(name, policy_factory=EpidemicPolicy):
     replica = Replica(ReplicaId(name), AddressFilter(name))
-    policy = EpidemicPolicy()
+    policy = policy_factory()
     policy.bind(replica, lambda: frozenset({name}))
     return replica, SyncEndpoint(replica, policy)
 
@@ -140,3 +146,143 @@ class TestPrefixCommit:
         assert stats.interrupted
         assert stats.received_total < 6
         assert stats.received_total + stats.lost_in_transit == 6
+
+
+class RecordingEpidemic(EpidemicPolicy):
+    """Epidemic plus a log of what on_items_sent reported."""
+
+    def __init__(self):
+        super().__init__()
+        self.sent_batches = []
+
+    def on_items_sent(self, items, context):
+        self.sent_batches.append(list(items))
+        super().on_items_sent(items, context)
+
+
+class TestDeliveryConfirmedHook:
+    """on_items_sent fires with exactly the entries the channel carried."""
+
+    def test_hook_sees_only_the_delivered_prefix(self):
+        k = 3
+        sender, sender_ep = host("alice", RecordingEpidemic)
+        receiver, receiver_ep = host("bob")
+        for i in range(8):
+            sender.create_item(f"m{i}", {"destination": "bob"})
+        transport = FaultyTransport(
+            random.Random(1), truncation=BatchTruncation(1.0, minimum=k, maximum=k)
+        )
+        perform_sync(sender_ep, receiver_ep, transport=transport)
+        assert len(sender_ep.policy.sent_batches) == 1
+        assert [item.payload for item in sender_ep.policy.sent_batches[0]] == [
+            "m0",
+            "m1",
+            "m2",
+        ]
+
+    def test_hook_sees_each_duplicated_entry_once(self):
+        sender, sender_ep = host("alice", RecordingEpidemic)
+        receiver, receiver_ep = host("bob")
+        for i in range(4):
+            sender.create_item(f"m{i}", {"destination": "bob"})
+        transport = FaultyTransport(
+            random.Random(1), duplication=EntryDuplication(1.0)
+        )
+        perform_sync(sender_ep, receiver_ep, transport=transport)
+        (batch,) = sender_ep.policy.sent_batches
+        assert len(batch) == 4
+
+    def test_perfect_channel_hook_matches_full_batch(self):
+        sender, sender_ep = host("alice", RecordingEpidemic)
+        receiver, receiver_ep = host("bob")
+        for i in range(5):
+            sender.create_item(f"m{i}", {"destination": "bob"})
+        perform_sync(sender_ep, receiver_ep)
+        (batch,) = sender_ep.policy.sent_batches
+        assert len(batch) == 5
+
+
+class TestFirstContactUnderFaults:
+    """Truncation must never destroy First Contact's only copy."""
+
+    def test_lost_entries_keep_their_only_copy(self):
+        k = 2
+        carrier, carrier_ep = host("alice", FirstContactPolicy)
+        relay, relay_ep = host("bob", FirstContactPolicy)
+        items = [
+            carrier.create_item(f"m{i}", {"destination": "dst"}) for i in range(5)
+        ]
+        transport = FaultyTransport(
+            random.Random(1), truncation=BatchTruncation(1.0, minimum=k, maximum=k)
+        )
+        stats = perform_sync(carrier_ep, relay_ep, transport=transport)
+        assert stats.interrupted
+        # Delivered prefix: handed off (relay holds, carrier expunged).
+        for item in items[:k]:
+            assert relay.holds(item.item_id)
+            assert not carrier.holds(item.item_id)
+        # Lost suffix: the single copy survives at the carrier.
+        for item in items[k:]:
+            assert carrier.holds(item.item_id)
+            assert not relay.holds(item.item_id)
+
+    def test_lost_entries_are_reoffered_next_encounter(self):
+        k = 2
+        carrier, carrier_ep = host("alice", FirstContactPolicy)
+        relay, relay_ep = host("bob", FirstContactPolicy)
+        items = [
+            carrier.create_item(f"m{i}", {"destination": "dst"}) for i in range(5)
+        ]
+        transport = FaultyTransport(
+            random.Random(1), truncation=BatchTruncation(1.0, minimum=k, maximum=k)
+        )
+        perform_sync(carrier_ep, relay_ep, transport=transport)
+        stats = perform_sync(carrier_ep, relay_ep)  # fault-free retry
+        assert stats.sent_total == 5 - k
+        # Every message now has exactly one live copy, all at the relay.
+        for item in items:
+            assert relay.holds(item.item_id)
+            assert not carrier.holds(item.item_id)
+
+
+class TestSprayBudgetUnderFaults:
+    """Copy budget is spent only on entries a replica actually received."""
+
+    @staticmethod
+    def copies_at(replica, item_id):
+        item = replica.get_item(item_id)
+        if item is None or item.deleted:
+            return 0
+        copies = item.local(COPIES_ATTRIBUTE)
+        return DEFAULT_COPIES if copies is None else int(copies)
+
+    def test_truncation_conserves_total_budget(self):
+        k = 2
+        sender, sender_ep = host("alice", SprayAndWaitPolicy)
+        receiver, receiver_ep = host("bob", SprayAndWaitPolicy)
+        items = [
+            sender.create_item(f"m{i}", {"destination": "dst"}) for i in range(5)
+        ]
+        transport = FaultyTransport(
+            random.Random(1), truncation=BatchTruncation(1.0, minimum=k, maximum=k)
+        )
+        perform_sync(sender_ep, receiver_ep, transport=transport)
+        for item in items:
+            total = self.copies_at(sender, item.item_id) + self.copies_at(
+                receiver, item.item_id
+            )
+            assert total == DEFAULT_COPIES
+        # Lost entries specifically: full budget still at the sender.
+        for item in items[k:]:
+            assert self.copies_at(sender, item.item_id) == DEFAULT_COPIES
+
+    def test_duplication_halves_budget_once(self):
+        sender, sender_ep = host("alice", SprayAndWaitPolicy)
+        receiver, receiver_ep = host("bob", SprayAndWaitPolicy)
+        item = sender.create_item("m", {"destination": "dst"})
+        transport = FaultyTransport(
+            random.Random(1), duplication=EntryDuplication(1.0)
+        )
+        perform_sync(sender_ep, receiver_ep, transport=transport)
+        assert self.copies_at(sender, item.item_id) == DEFAULT_COPIES // 2
+        assert self.copies_at(receiver, item.item_id) == DEFAULT_COPIES // 2

@@ -21,7 +21,7 @@ import random
 
 import pytest
 
-from repro.dtn import EpidemicPolicy
+from repro.dtn import EpidemicPolicy, FirstContactPolicy, SprayAndWaitPolicy
 from repro.emulation.encounters import SECONDS_PER_DAY, Encounter, EncounterTrace
 from repro.emulation.network import Emulator, Injection
 from repro.emulation.node import EmulatedNode
@@ -31,12 +31,12 @@ from repro.replication.sync import perform_encounter
 SEEDS = range(24)
 
 
-def build_world(seed):
+def build_world(seed, policy_factory=EpidemicPolicy):
     """One random mini-scenario: topology, workload, and fault mix."""
     rng = random.Random(seed)
     n_nodes = rng.randint(3, 6)
     names = [f"n{i}" for i in range(n_nodes)]
-    nodes = {name: EmulatedNode(name, EpidemicPolicy()) for name in names}
+    nodes = {name: EmulatedNode(name, policy_factory()) for name in names}
 
     n_encounters = rng.randint(30, 60)
     window = 12 * 3600.0
@@ -119,9 +119,8 @@ def heal(nodes, names, start_time):
     return now
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_invariants_hold_after_faults_stop(seed):
-    emulator, nodes, names = build_world(seed)
+def run_scenario_and_assert_invariants(seed, policy_factory=EpidemicPolicy):
+    emulator, nodes, names = build_world(seed, policy_factory)
     delivery_counts, wire = attach_delivery_counters(emulator)
 
     # Faulty phase. Crash-restarts replace a node's app, dropping our
@@ -152,6 +151,23 @@ def test_invariants_hold_after_faults_stop(seed):
         assert count == 1, (
             f"seed {seed}: {node_name} observed {message_id} {count} times"
         )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_invariants_hold_after_faults_stop(seed):
+    run_scenario_and_assert_invariants(seed)
+
+
+@pytest.mark.parametrize("seed", range(12))
+@pytest.mark.parametrize(
+    "policy_factory", [FirstContactPolicy, SprayAndWaitPolicy]
+)
+def test_invariants_hold_for_copy_constrained_policies(policy_factory, seed):
+    """First Contact holds one copy per message and Spray-and-Wait a fixed
+    budget, so a sent-confirmation bug (expunging or halving for entries
+    the transport lost) destroys messages outright — exactly what the
+    epidemic-only harness could never catch."""
+    run_scenario_and_assert_invariants(seed, policy_factory)
 
 
 @pytest.mark.parametrize("seed", [0, 5, 11, 17])

@@ -45,9 +45,12 @@ def sync_over_wire(source: SyncEndpoint, target: SyncEndpoint, now=0.0):
 
     batch, stats = build_batch(source, request, source_context)
     batch_bytes = json.dumps(encode_batch(batch)).encode()
-    batch = decode_batch(json.loads(batch_bytes))
+    received = decode_batch(json.loads(batch_bytes))
 
-    apply_batch(target, batch, stats)
+    # The wire hop delivered everything; confirm the batch to the policy
+    # (perform_sync does this with the delivered entries).
+    source.policy.on_items_sent([entry.item for entry in batch], source_context)
+    apply_batch(target, received, stats)
     return stats, len(request_bytes), len(batch_bytes)
 
 

@@ -51,7 +51,7 @@ def test_disabled_faults_report_zero_fault_counters():
     assert metrics.dropped_encounters == 0
     assert metrics.backoff_skips == 0
     assert metrics.interrupted_syncs == 0
-    assert metrics.resumed_syncs == 0
+    assert metrics.resumed_pairs == 0
     assert metrics.crashes == 0
     assert metrics.lost_transmissions == 0
     assert metrics.redundant_transmissions == 0

@@ -83,6 +83,31 @@ class TestRoundtrip:
         with pytest.raises(CodecError):
             replica_from_state({"format": "something-else"})
 
+    def test_registered_eviction_strategy_survives(self):
+        replica = Replica(
+            ReplicaId("n"),
+            AddressFilter("n"),
+            relay_capacity=2,
+            relay_eviction="random",
+        )
+        state = replica_to_state(replica)
+        assert state["relay_eviction"] == "random"
+        restored = replica_from_state(state)
+        assert restored._relay.strategy is replica._relay.strategy
+
+    def test_custom_eviction_strategy_warns_on_checkpoint(self):
+        replica = Replica(
+            ReplicaId("n"),
+            AddressFilter("n"),
+            relay_capacity=2,
+            relay_eviction=lambda items: items[-1],
+        )
+        with pytest.warns(UserWarning, match="not registered"):
+            state = replica_to_state(replica)
+        # The checkpoint cannot name the callable; restore falls back to
+        # FIFO — exactly what the warning tells the caller.
+        assert state["relay_eviction"] is None
+
 
 class TestResume:
     def test_restored_replica_syncs_correctly(self):
