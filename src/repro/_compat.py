@@ -1,0 +1,18 @@
+"""Small cross-version compatibility helpers.
+
+The package supports Python 3.9+, but some performance-relevant features
+only exist on newer interpreters. Each helper degrades gracefully: on an
+older interpreter the semantics are identical, only the optimisation is
+missing.
+"""
+
+from __future__ import annotations
+
+import sys
+
+#: Keyword arguments adding ``__slots__`` to a ``@dataclass`` where the
+#: interpreter supports it (3.10+). Hot value types (batch entries,
+#: priorities, version-vector entries) are created in tight loops during
+#: trace replay; slots cut their per-instance memory and attribute-lookup
+#: cost. On 3.9 the classes simply keep their ``__dict__``.
+DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}

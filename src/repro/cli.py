@@ -11,6 +11,9 @@ Usage (installed as ``python -m repro``):
                         [--fault-seed N]
     python -m repro figure {5,6,7,8,9,10,all} [--scale S]
     python -m repro tables
+    python -m repro bench sync [--nodes N] [--items M] [--encounters E]
+                               [--seed S] [--output PATH]
+                               [--min-reduction R]
 
 Every command prints paper-style rows; ``figure`` also honours
 ``--output-dir`` to persist them.
@@ -119,6 +122,33 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--output-dir", type=pathlib.Path, default=None)
 
     subparsers.add_parser("tables", help="print Tables I and II")
+
+    bench = subparsers.add_parser(
+        "bench", help="run a micro-benchmark and record its JSON artifact"
+    )
+    bench.add_argument("which", choices=("sync",))
+    bench.add_argument("--nodes", type=int, default=50)
+    bench.add_argument("--items", type=int, default=5000)
+    bench.add_argument("--encounters", type=int, default=10000)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument(
+        "--bandwidth-limit", type=int, default=None,
+        help="optional per-encounter item cap (exercises the partial sort)",
+    )
+    bench.add_argument(
+        "--verify-every", type=int, default=50, metavar="N",
+        help="check index/scan enumeration equivalence every Nth encounter "
+             "(0 disables)",
+    )
+    bench.add_argument(
+        "--output", type=pathlib.Path, default=pathlib.Path("BENCH_sync.json"),
+        help="where to write the JSON artifact (default ./BENCH_sync.json)",
+    )
+    bench.add_argument(
+        "--min-reduction", type=float, default=None, metavar="R",
+        help="fail (exit 1) unless items-scanned-per-encounter improved by "
+             "at least this factor over the full-scan baseline",
+    )
     return parser
 
 
@@ -278,6 +308,62 @@ def cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import (
+        SyncBenchConfig,
+        run_sync_bench,
+        write_sync_bench,
+    )
+
+    try:
+        config = SyncBenchConfig(
+            nodes=args.nodes,
+            items=args.items,
+            encounters=args.encounters,
+            seed=args.seed,
+            max_items_per_encounter=args.bandwidth_limit,
+            verify_every=args.verify_every,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_sync_bench(config)
+    path = write_sync_bench(report, args.output)
+    indexed = report["indexed"]
+    baseline = report["baseline_full_scan"]
+    reduction = report["reduction_factor_items_scanned"]
+    print(f"sync bench: {args.nodes} nodes, {args.items} items, "
+          f"{args.encounters} encounters (seed {args.seed})")
+    print(f"{'items scanned / encounter':>28} | "
+          f"indexed {indexed['items_scanned_per_encounter']:>10.2f} | "
+          f"full scan {baseline['items_scanned_per_encounter']:>10.2f}")
+    print(f"{'wall clock / 1k encounters':>28} | "
+          f"indexed {indexed['wall_clock_s_per_1k_encounters']:>9.3f}s | "
+          f"full scan {baseline['wall_clock_s_per_1k_encounters']:>9.3f}s")
+    print(f"{'reduction factor':>28} | {reduction:.2f}x scanned, "
+          f"{report['speedup_wall_clock']:.2f}x wall clock")
+    equivalence = report["equivalence"]
+    print(f"{'equivalence':>28} | "
+          f"{equivalence['sampled_enumerations_checked']} enumerations checked, "
+          f"transmissions match: {equivalence['transmissions_match']}, "
+          f"knowledge match: {equivalence['final_knowledge_match']}")
+    print(f"artifact written to {path}")
+    if not (
+        equivalence["transmissions_match"] and equivalence["final_knowledge_match"]
+    ):
+        print("error: indexed and full-scan runs diverged", file=sys.stderr)
+        return 1
+    if args.min_reduction is not None and reduction < args.min_reduction:
+        print(
+            f"error: scan reduction {reduction:.2f}x is below the required "
+            f"{args.min_reduction:.2f}x — the version index has regressed "
+            "toward full-store scans",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -285,6 +371,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": cmd_run,
         "figure": cmd_figure,
         "tables": cmd_tables,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

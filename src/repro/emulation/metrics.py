@@ -75,6 +75,18 @@ class MetricsCollector:
     crashes: int = 0
     lost_transmissions: int = 0
     redundant_transmissions: int = 0
+    # Sync hot-path accounting (the version-index optimisation): how many
+    # stored items the sources held when batches were built (what a full
+    # scan would visit), how many the version index actually enumerated,
+    # how many it skipped, and how the memoised peer-filter evaluations
+    # fared. ``items_scanned / syncs`` is the figure ``repro bench sync``
+    # reports as items-scanned-per-encounter.
+    store_items_at_sync: int = 0
+    items_scanned: int = 0
+    index_skipped: int = 0
+    filter_cache_hits: int = 0
+    filter_cache_misses: int = 0
+    filter_cache_invalidations: int = 0
     end_time: float = 0.0
 
     # -- recording ------------------------------------------------------------------
@@ -115,6 +127,12 @@ class MetricsCollector:
         self.truncated_transmissions += stats.truncated
         self.lost_transmissions += stats.lost_in_transit
         self.redundant_transmissions += stats.redundant_received
+        self.store_items_at_sync += stats.store_size
+        self.items_scanned += stats.candidates
+        self.index_skipped += stats.index_skipped
+        self.filter_cache_hits += stats.filter_cache_hits
+        self.filter_cache_misses += stats.filter_cache_misses
+        self.filter_cache_invalidations += stats.filter_cache_invalidations
         if stats.interrupted:
             self.interrupted_syncs += 1
 
@@ -270,6 +288,15 @@ class MetricsCollector:
             "crashes": float(self.crashes),
             "lost_transmissions": float(self.lost_transmissions),
             "redundant_transmissions": float(self.redundant_transmissions),
+            "store_items_at_sync": float(self.store_items_at_sync),
+            "items_scanned": float(self.items_scanned),
+            "index_skipped": float(self.index_skipped),
+            "items_scanned_per_sync": (
+                self.items_scanned / self.syncs if self.syncs else 0.0
+            ),
+            "filter_cache_hits": float(self.filter_cache_hits),
+            "filter_cache_misses": float(self.filter_cache_misses),
+            "filter_cache_invalidations": float(self.filter_cache_invalidations),
             "mean_copies_at_delivery": (
                 self.mean_copies_at_delivery() or float("nan")
             ),

@@ -1,0 +1,239 @@
+"""Micro-benchmark of the sync hot path: version index vs. full scan.
+
+``repro bench sync`` replays a synthetic encounter schedule twice over the
+same seeded scenario — once with the version-indexed batch builder (the
+default production path) and once with the original full-store scan
+(``use_index=False``) — and records both costs in ``BENCH_sync.json``.
+The speedup is an artifact, not a claim: the JSON carries the baseline
+numbers it was measured against, plus the result of an in-run equivalence
+check proving the two paths selected identical batches.
+
+The scenario is deliberately substrate-shaped rather than trace-shaped:
+``nodes`` replicas under an Epidemic policy, ``items`` messages authored
+at random hosts and interleaved with ``encounters`` random pairwise
+encounters. Every cost the index attacks shows up here — repeat meetings
+between converged peers (index skips the whole store), partially caught-up
+peers (index walks only the missing tail), and repeated peer-filter
+evaluations (served by the match cache).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.dtn.epidemic import EpidemicPolicy
+from repro.replication.filters import MultiAddressFilter
+from repro.replication.ids import ReplicaId
+from repro.replication.replica import Replica
+from repro.replication.sync import SyncEndpoint, perform_encounter
+
+
+@dataclass(frozen=True)
+class SyncBenchConfig:
+    """Shape of the synthetic workload (defaults: the recorded artifact)."""
+
+    nodes: int = 50
+    items: int = 5000
+    encounters: int = 10000
+    seed: int = 7
+    max_items_per_encounter: Optional[int] = None
+    #: Check index/scan enumeration equivalence every Nth encounter during
+    #: the indexed run (0 disables the check).
+    verify_every: int = 50
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise ValueError("bench needs at least 2 nodes")
+        if self.items < 1 or self.encounters < 1:
+            raise ValueError("bench needs at least 1 item and 1 encounter")
+
+
+@dataclass
+class _Schedule:
+    """The pre-drawn event tape both runs replay identically."""
+
+    #: encounter index → items authored just before it: (author, destination).
+    authored_before: Dict[int, List[Tuple[int, int]]]
+    #: the encounters themselves, as (first node, second node) indexes.
+    pairs: List[Tuple[int, int]]
+
+
+def _draw_schedule(config: SyncBenchConfig) -> _Schedule:
+    rng = random.Random(config.seed)
+    pairs = []
+    for _ in range(config.encounters):
+        a = rng.randrange(config.nodes)
+        b = rng.randrange(config.nodes - 1)
+        if b >= a:
+            b += 1
+        pairs.append((a, b))
+    # Author the items across the first 80% of the schedule so the tail of
+    # the run exercises converged, nothing-new encounters too.
+    authored_before: Dict[int, List[Tuple[int, int]]] = {}
+    horizon = max(1, int(config.encounters * 0.8))
+    for _ in range(config.items):
+        slot = rng.randrange(horizon)
+        author = rng.randrange(config.nodes)
+        destination = rng.randrange(config.nodes - 1)
+        if destination >= author:
+            destination += 1
+        authored_before.setdefault(slot, []).append((author, destination))
+    return _Schedule(authored_before=authored_before, pairs=pairs)
+
+
+def _build_population(config: SyncBenchConfig) -> List[SyncEndpoint]:
+    endpoints = []
+    for index in range(config.nodes):
+        name = f"bench-{index:03d}"
+        replica = Replica(ReplicaId(name), MultiAddressFilter(own_address=name))
+        policy = EpidemicPolicy().bind(replica)
+        endpoints.append(SyncEndpoint(replica, policy))
+    return endpoints
+
+
+@dataclass
+class _RunResult:
+    items_scanned: int = 0
+    store_items_seen: int = 0
+    transmissions: int = 0
+    index_skipped: int = 0
+    filter_cache_hits: int = 0
+    filter_cache_misses: int = 0
+    filter_cache_invalidations: int = 0
+    wall_clock_s: float = 0.0
+    equivalence_checks: int = 0
+    knowledge_digest: Tuple = field(default_factory=tuple)
+
+    def as_report(self, config: SyncBenchConfig) -> dict:
+        """The JSON block for one run; ``items_scanned`` is index
+        enumerations for the indexed run, store visits for the scan run."""
+        return {
+            "items_scanned": self.items_scanned,
+            "items_scanned_per_encounter": self.items_scanned / config.encounters,
+            "store_items_seen": self.store_items_seen,
+            "transmissions": self.transmissions,
+            "index_skipped": self.index_skipped,
+            "filter_cache_hits": self.filter_cache_hits,
+            "filter_cache_misses": self.filter_cache_misses,
+            "filter_cache_invalidations": self.filter_cache_invalidations,
+            "wall_clock_s": round(self.wall_clock_s, 4),
+            "wall_clock_s_per_1k_encounters": round(
+                self.wall_clock_s * 1000.0 / config.encounters, 4
+            ),
+        }
+
+
+def _knowledge_digest(endpoints: List[SyncEndpoint]) -> Tuple:
+    """A comparable fingerprint of every replica's final knowledge."""
+    digest = []
+    for endpoint in endpoints:
+        knowledge = endpoint.replica.knowledge
+        digest.append(
+            tuple(
+                (replica.name, knowledge.known_counter_prefix(replica),
+                 tuple(sorted(knowledge.extra_counters(replica))))
+                for replica in knowledge.replicas()
+            )
+        )
+    return tuple(digest)
+
+
+def _run(
+    config: SyncBenchConfig, schedule: _Schedule, use_index: bool
+) -> _RunResult:
+    endpoints = _build_population(config)
+    result = _RunResult()
+    equivalence_checks = 0
+    started = time.perf_counter()
+    for index, (a, b) in enumerate(schedule.pairs):
+        for author, destination in schedule.authored_before.get(index, ()):
+            endpoints[author].replica.create_item(
+                payload=f"m{index}",
+                attributes={
+                    "destination": f"bench-{destination:03d}",
+                    "source": f"bench-{author:03d}",
+                },
+            )
+        first, second = endpoints[a], endpoints[b]
+        if use_index and config.verify_every and index % config.verify_every == 0:
+            # Pure-query equivalence probe: the index enumeration must equal
+            # the reference scan, same items in the same order, both ways.
+            for source, target in ((first, second), (second, first)):
+                knowledge = target.replica.knowledge
+                indexed = source.replica.items_unknown_to(knowledge)
+                scanned = source.replica.items_unknown_to_scan(knowledge)
+                if indexed != scanned:
+                    raise AssertionError(
+                        f"index/scan divergence at encounter {index}: "
+                        f"{indexed!r} != {scanned!r}"
+                    )
+                equivalence_checks += 1
+        stats_pair = perform_encounter(
+            first,
+            second,
+            now=float(index),
+            max_items_per_encounter=config.max_items_per_encounter,
+            use_index=use_index,
+        )
+        for stats in stats_pair:
+            # The full scan visits every stored item; the index visits only
+            # the unknown candidates it enumerated.
+            result.items_scanned += stats.candidates if use_index else stats.store_size
+            result.store_items_seen += stats.store_size
+            result.transmissions += stats.sent_total
+            result.index_skipped += stats.index_skipped
+            result.filter_cache_hits += stats.filter_cache_hits
+            result.filter_cache_misses += stats.filter_cache_misses
+            result.filter_cache_invalidations += stats.filter_cache_invalidations
+    result.wall_clock_s = time.perf_counter() - started
+    result.equivalence_checks = equivalence_checks
+    result.knowledge_digest = _knowledge_digest(endpoints)
+    return result
+
+
+def run_sync_bench(config: SyncBenchConfig = SyncBenchConfig()) -> dict:
+    """Run both modes over the same schedule and build the report dict."""
+    schedule = _draw_schedule(config)
+    indexed = _run(config, schedule, use_index=True)
+    baseline = _run(config, schedule, use_index=False)
+    reduction = (
+        baseline.items_scanned / indexed.items_scanned
+        if indexed.items_scanned
+        else float("inf")
+    )
+    speedup = (
+        baseline.wall_clock_s / indexed.wall_clock_s
+        if indexed.wall_clock_s
+        else float("inf")
+    )
+    return {
+        "benchmark": "sync",
+        "config": asdict(config),
+        "indexed": indexed.as_report(config),
+        "baseline_full_scan": baseline.as_report(config),
+        "reduction_factor_items_scanned": round(reduction, 2),
+        "speedup_wall_clock": round(speedup, 2),
+        "equivalence": {
+            "sampled_enumerations_checked": indexed.equivalence_checks,
+            "identical_batches": True,  # a divergence raises inside the run
+            "transmissions_match": indexed.transmissions == baseline.transmissions,
+            "final_knowledge_match": (
+                indexed.knowledge_digest == baseline.knowledge_digest
+            ),
+        },
+    }
+
+
+def write_sync_bench(
+    report: dict, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Persist a :func:`run_sync_bench` report as ``BENCH_sync.json``."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return target

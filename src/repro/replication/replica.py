@@ -35,7 +35,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 from .errors import DuplicateDeliveryError, UnknownItemError
 from .events import ObserverList, ReplicaObserver
-from .filters import Filter
+from .filters import Filter, FilterMatchCache
 from .ids import IdFactory, ItemId, ReplicaId, Version
 from .items import Item
 from .store import ItemStore, RelayStore
@@ -79,6 +79,9 @@ class Replica:
             strategy=relay_eviction,
         )
         self.observers = ObserverList()
+        #: Memoised peer-filter match decisions for stored items; the sync
+        #: layer consults it when building batches for repeat encounters.
+        self.filter_cache = FilterMatchCache()
 
     # -- configuration ---------------------------------------------------------
 
@@ -260,8 +263,34 @@ class Replica:
         yield from self._outbox
         yield from self._relay
 
+    @property
+    def stored_count(self) -> int:
+        """Total items held across all three stores."""
+        return len(self._store) + len(self._outbox) + len(self._relay)
+
     def items_unknown_to(self, knowledge: VersionVector) -> List[Item]:
-        """Stored items whose versions the given knowledge does not cover."""
+        """Stored items whose versions the given knowledge does not cover.
+
+        This is the sync hot path: instead of scanning every stored item
+        and probing ``knowledge.contains``, each store's version index
+        enumerates only the counters above the peer's known prefix (see
+        :meth:`~repro.replication.store.ItemStore.unknown_items`). The
+        result is identical to :meth:`items_unknown_to_scan` — same items,
+        same order — at a cost proportional to what the peer is missing.
+        """
+        return (
+            self._store.unknown_items(knowledge)
+            + self._outbox.unknown_items(knowledge)
+            + self._relay.unknown_items(knowledge)
+        )
+
+    def items_unknown_to_scan(self, knowledge: VersionVector) -> List[Item]:
+        """Reference full-scan implementation of :meth:`items_unknown_to`.
+
+        Kept as the executable specification the version index must match
+        (the equivalence tests assert it) and as the baseline the
+        ``repro bench sync`` micro-benchmark measures against.
+        """
         return [
             item for item in self.stored_items() if not knowledge.contains(item.version)
         ]
@@ -324,8 +353,10 @@ class Replica:
         self._store.discard(item_id)
         self._outbox.discard(item_id)
         self._relay.discard(item_id)
+        self.filter_cache.forget(item_id)
 
     def _notify_evict(self, item: Item) -> None:
+        self.filter_cache.forget(item.item_id)
         self.observers.on_evict(item)
 
     def __repr__(self) -> str:

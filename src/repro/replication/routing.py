@@ -27,6 +27,8 @@ from enum import IntEnum
 from functools import total_ordering
 from typing import Any, Optional
 
+from repro._compat import DATACLASS_SLOTS
+
 from .filters import Filter
 from .ids import ReplicaId
 from .items import Item
@@ -50,7 +52,7 @@ class PriorityClass(IntEnum):
 
 
 @total_ordering
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Priority:
     """A transmission priority: a class band plus a real-valued cost tiebreak.
 

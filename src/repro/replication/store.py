@@ -17,16 +17,29 @@ eviction it prescribes applies to the relay store alone.
 
 Both stores index items by :class:`~repro.replication.ids.ItemId` and hold
 exactly one (the latest known) version per id.
+
+Beyond the primary id index, every :class:`ItemStore` maintains a
+**version index**: per authoring replica, the stored version counters in
+sorted order. Because a peer's knowledge is a per-replica prefix plus a
+small extras set (see :mod:`repro.replication.versions`), the index lets
+:meth:`ItemStore.unknown_items` enumerate exactly the stored items a
+given knowledge vector does *not* cover — a bisect to skip the known
+prefix, then a walk of the tail — instead of probing ``contains`` on
+every stored item. That query is the sync hot path: one call per sync
+session, proportional to what the peer is missing rather than to the
+store size.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .errors import UnknownItemError
-from .ids import ItemId
+from .ids import ItemId, ReplicaId
 from .items import Item
+from .versions import VersionVector
 
 #: Callback invoked when the relay store evicts an item under pressure.
 EvictionCallback = Callable[[Item], None]
@@ -36,13 +49,25 @@ class ItemStore:
     """A keyed store of the latest known version of each item.
 
     Insertion order is preserved (Python dicts are ordered), which the relay
-    store's FIFO eviction relies on.
+    store's FIFO eviction relies on. Alongside the primary dict the store
+    keeps the version index (``origin replica → sorted counters``) and a
+    monotone per-insertion sequence number used to report query results in
+    insertion order; both are maintained incrementally on every mutation.
     """
 
-    __slots__ = ("_items",)
+    __slots__ = ("_items", "_by_origin", "_version_owner", "_order", "_seq", "_snapshot")
 
     def __init__(self) -> None:
         self._items: Dict[ItemId, Item] = {}
+        #: origin replica → sorted list of stored version counters.
+        self._by_origin: Dict[ReplicaId, List[int]] = {}
+        #: (origin replica, counter) → item id holding that version.
+        self._version_owner: Dict[Tuple[ReplicaId, int], ItemId] = {}
+        #: item id → insertion sequence (re-insertion bumps it, like the dict).
+        self._order: Dict[ItemId, int] = {}
+        self._seq = 0
+        #: Cached insertion-order tuple, rebuilt lazily after mutations.
+        self._snapshot: Optional[Tuple[Item, ...]] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -51,7 +76,7 @@ class ItemStore:
         return item_id in self._items
 
     def __iter__(self) -> Iterator[Item]:
-        return iter(list(self._items.values()))
+        return iter(self.items())
 
     def get(self, item_id: ItemId) -> Optional[Item]:
         return self._items.get(item_id)
@@ -69,8 +94,14 @@ class ItemStore:
         version* of a relayed message counts as fresh arrival for FIFO
         purposes.
         """
-        self._items.pop(item.item_id, None)
+        previous = self._items.pop(item.item_id, None)
+        if previous is not None:
+            self._index_remove(previous)
         self._items[item.item_id] = item
+        self._index_add(item)
+        self._order[item.item_id] = self._seq
+        self._seq += 1
+        self._snapshot = None
 
     def update_in_place(self, item: Item) -> None:
         """Replace a stored item without touching its FIFO position.
@@ -78,18 +109,33 @@ class ItemStore:
         Used for host-local attribute adjustments (TTL decrements, copy
         halving) which must not look like fresh arrivals.
         """
-        if item.item_id not in self._items:
+        previous = self._items.get(item.item_id)
+        if previous is None:
             raise UnknownItemError(item.item_id)
+        if previous.version != item.version:
+            # Callers adjust host-local state only, so the version should
+            # never change here; keep the index right regardless.
+            self._index_remove(previous)
+            self._index_add(item)
         self._items[item.item_id] = item
+        self._snapshot = None
 
     def remove(self, item_id: ItemId) -> Item:
         item = self._items.pop(item_id, None)
         if item is None:
             raise UnknownItemError(item_id)
+        self._index_remove(item)
+        self._order.pop(item_id, None)
+        self._snapshot = None
         return item
 
     def discard(self, item_id: ItemId) -> Optional[Item]:
-        return self._items.pop(item_id, None)
+        item = self._items.pop(item_id, None)
+        if item is not None:
+            self._index_remove(item)
+            self._order.pop(item_id, None)
+            self._snapshot = None
+        return item
 
     def oldest(self) -> Optional[Item]:
         """The item at the front of insertion order (FIFO eviction victim)."""
@@ -97,24 +143,86 @@ class ItemStore:
             return item
         return None
 
-    def items(self) -> List[Item]:
-        """A snapshot list of stored items in insertion order."""
-        return list(self._items.values())
+    def items(self) -> Sequence[Item]:
+        """A snapshot of stored items in insertion order.
+
+        The snapshot is an immutable tuple cached until the next mutation,
+        so callers that only iterate (eviction strategies, persistence,
+        filter re-scans) pay no per-call allocation; it also stays safe to
+        iterate while the store is being mutated.
+        """
+        if self._snapshot is None:
+            self._snapshot = tuple(self._items.values())
+        return self._snapshot
 
     def clear(self) -> None:
         self._items.clear()
+        self._by_origin.clear()
+        self._version_owner.clear()
+        self._order.clear()
+        self._snapshot = None
+
+    # -- version index -----------------------------------------------------------
+
+    def _index_add(self, item: Item) -> None:
+        version = item.version
+        counters = self._by_origin.get(version.replica)
+        if counters is None:
+            self._by_origin[version.replica] = [version.counter]
+        elif counters and version.counter > counters[-1]:
+            counters.append(version.counter)  # common case: counters ascend
+        else:
+            insort(counters, version.counter)
+        self._version_owner[(version.replica, version.counter)] = item.item_id
+
+    def _index_remove(self, item: Item) -> None:
+        version = item.version
+        self._version_owner.pop((version.replica, version.counter), None)
+        counters = self._by_origin.get(version.replica)
+        if counters is None:
+            return
+        index = bisect_right(counters, version.counter) - 1
+        if 0 <= index < len(counters) and counters[index] == version.counter:
+            del counters[index]
+        if not counters:
+            del self._by_origin[version.replica]
+
+    def unknown_items(self, knowledge: VersionVector) -> List[Item]:
+        """Stored items whose versions ``knowledge`` does not cover.
+
+        Equivalent to filtering :meth:`items` through
+        ``knowledge.contains`` — same items, same insertion order — but
+        walks the version index instead: per authoring replica, a bisect
+        skips every counter inside the peer's known prefix and only the
+        tail (minus the peer's extras) is visited. Cost is proportional to
+        the number of *unknown* items, not the store size.
+        """
+        found: List[Item] = []
+        for origin, counters in self._by_origin.items():
+            prefix = knowledge.known_counter_prefix(origin)
+            if counters[-1] <= prefix:
+                continue  # everything from this origin is already known
+            extras = knowledge.extra_counters(origin)
+            start = bisect_right(counters, prefix)
+            for counter in counters[start:]:
+                if counter in extras:
+                    continue
+                found.append(self._items[self._version_owner[(origin, counter)]])
+        order = self._order
+        found.sort(key=lambda item: order[item.item_id])
+        return found
 
 
 #: An eviction strategy picks the victim among currently stored items.
-EvictionStrategy = Callable[[List[Item]], Item]
+EvictionStrategy = Callable[[Sequence[Item]], Item]
 
 
-def evict_fifo(items: List[Item]) -> Item:
+def evict_fifo(items: Sequence[Item]) -> Item:
     """Drop the item that arrived first (the paper's Figure 10 policy)."""
     return items[0]
 
 
-def evict_random(items: List[Item]) -> Item:
+def evict_random(items: Sequence[Item]) -> Item:
     """Drop a deterministic pseudo-random victim (seeded by store contents).
 
     Randomised buffer management is a common DTN baseline; this variant
@@ -125,7 +233,7 @@ def evict_random(items: List[Item]) -> Item:
     return items[index]
 
 
-def evict_oldest_created(items: List[Item]) -> Item:
+def evict_oldest_created(items: Sequence[Item]) -> Item:
     """Drop the message created longest ago (by ``created_at`` attribute).
 
     Old messages have had the most delivery opportunities already; many
@@ -158,7 +266,7 @@ class RelayStore:
     ``on_evict`` (if set) is told, so the emulation can count drops. A
     capacity of 0 disables relaying entirely. ``strategy`` accepts a
     name from :data:`EVICTION_STRATEGIES` or any callable mapping the
-    stored-item list to the victim.
+    stored-item sequence to the victim.
     """
 
     capacity: Optional[int] = None
@@ -219,8 +327,12 @@ class RelayStore:
     def discard(self, item_id: ItemId) -> Optional[Item]:
         return self._store.discard(item_id)
 
-    def items(self) -> List[Item]:
+    def items(self) -> Sequence[Item]:
         return self._store.items()
+
+    def unknown_items(self, knowledge: VersionVector) -> List[Item]:
+        """See :meth:`ItemStore.unknown_items`."""
+        return self._store.unknown_items(knowledge)
 
     def clear(self) -> None:
         self._store.clear()

@@ -32,8 +32,11 @@ MaxProp's ordering is designed for.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
+
+from repro._compat import DATACLASS_SLOTS
 
 from .errors import PolicyError
 from .filters import Filter
@@ -72,7 +75,7 @@ class SyncRequest:
     routing_state: Any = None
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class BatchEntry:
     """One item scheduled for transmission, with its priority."""
 
@@ -92,11 +95,23 @@ class SyncStats:
     interrupted transfer, ``redundant_received`` duplicate deliveries the
     target recognised and discarded, and ``interrupted`` marking a session
     whose batch was truncated mid-transfer (the next encounter resumes it).
+
+    The scan-cost fields make the hot-path optimisations observable:
+    ``store_size`` is how many items the source held (what a full scan
+    would have visited), ``candidates`` how many the version index
+    actually enumerated (the unknown items), ``index_skipped`` the
+    difference, and the ``filter_cache_*`` counters how the memoised
+    peer-filter evaluations fared while building this batch.
     """
 
     source: ReplicaId
     target: ReplicaId
     candidates: int = 0
+    store_size: int = 0
+    index_skipped: int = 0
+    filter_cache_hits: int = 0
+    filter_cache_misses: int = 0
+    filter_cache_invalidations: int = 0
     sent_total: int = 0
     sent_matching: int = 0
     sent_relayed: int = 0
@@ -133,6 +148,7 @@ def build_batch(
     request: SyncRequest,
     context: SyncContext,
     max_items: Optional[int] = None,
+    use_index: bool = True,
 ) -> Tuple[List[BatchEntry], SyncStats]:
     """Source side: select, prioritise, order, and truncate the batch.
 
@@ -140,7 +156,16 @@ def build_batch(
     :attr:`PriorityClass.FILTER_MATCH`; for each remaining unknown item the
     policy's ``to_send`` is consulted. The final batch is sorted by
     priority (stable, so equal priorities keep store order) and truncated
-    to ``max_items`` when a bandwidth cap applies.
+    to ``max_items`` when a bandwidth cap applies (via a partial sort —
+    picking the same prefix a full sort-then-slice would).
+
+    With ``use_index`` (the default) the unknown items are enumerated
+    through the stores' version indexes and the target-filter evaluations
+    go through the source's :class:`~repro.replication.filters.FilterMatchCache`
+    — per-encounter cost proportional to what the target is missing.
+    ``use_index=False`` keeps the original full-store scan; it exists as
+    the measured baseline for ``repro bench sync`` and the equivalence
+    tests, and produces identical batches.
 
     Building does **not** fire ``on_items_sent`` — the channel has not
     carried anything yet. :func:`perform_sync` invokes the hook with the
@@ -150,12 +175,21 @@ def build_batch(
     stats = SyncStats(source=source.replica_id, target=request.target_id)
     source.policy.process_req(request.routing_state, context)
 
+    stats.store_size = source.replica.stored_count
+    if use_index:
+        unknown = source.replica.items_unknown_to(request.knowledge)
+        cache = source.replica.filter_cache
+        hits, misses, invalidations = cache.hits, cache.misses, cache.invalidations
+        matches = lambda item: cache.matches(request.filter, item)  # noqa: E731
+    else:
+        unknown = source.replica.items_unknown_to_scan(request.knowledge)
+        matches = request.filter.matches
+    stats.candidates = len(unknown)
+    stats.index_skipped = stats.store_size - stats.candidates
+
     entries: List[BatchEntry] = []
-    for item in source.replica.stored_items():
-        if request.knowledge.contains(item.version):
-            continue
-        stats.candidates += 1
-        if request.filter.matches(item):
+    for item in unknown:
+        if matches(item):
             entries.append(
                 BatchEntry(item, True, Priority(PriorityClass.FILTER_MATCH))
             )
@@ -170,10 +204,25 @@ def build_batch(
                 )
             entries.append(BatchEntry(item, False, priority))
 
-    entries.sort(key=lambda entry: entry.priority.sort_key())
+    if use_index:
+        stats.filter_cache_hits = cache.hits - hits
+        stats.filter_cache_misses = cache.misses - misses
+        stats.filter_cache_invalidations = cache.invalidations - invalidations
+
     if max_items is not None and len(entries) > max_items:
+        # Partial sort: same prefix as a stable full sort followed by a
+        # slice (the enumeration index breaks ties), at O(n log k).
         stats.truncated = len(entries) - max_items
-        entries = entries[:max_items]
+        entries = [
+            entry
+            for _, entry in heapq.nsmallest(
+                max_items,
+                enumerate(entries),
+                key=lambda pair: (pair[1].priority.sort_key(), pair[0]),
+            )
+        ]
+    else:
+        entries.sort(key=lambda entry: entry.priority.sort_key())
 
     prepared = [
         BatchEntry(
@@ -240,6 +289,7 @@ def perform_sync(
     now: float = 0.0,
     max_items: Optional[int] = None,
     transport: Optional[Any] = None,
+    use_index: bool = True,
 ) -> SyncStats:
     """Run one complete sync session: ``target`` pulls from ``source``.
 
@@ -262,7 +312,9 @@ def perform_sync(
         local=source.replica_id, remote=target.replica_id, now=now
     )
     request = build_request(target, target_context)
-    batch, stats = build_batch(source, request, source_context, max_items=max_items)
+    batch, stats = build_batch(
+        source, request, source_context, max_items=max_items, use_index=use_index
+    )
     if transport is None:
         source.policy.on_items_sent(
             [entry.item for entry in batch], source_context
@@ -284,6 +336,7 @@ def perform_encounter(
     now: float = 0.0,
     max_items_per_encounter: Optional[int] = None,
     transport_factory: Optional[Any] = None,
+    use_index: bool = True,
 ) -> List[SyncStats]:
     """Run one encounter: two syncs with alternating source/target roles.
 
@@ -321,6 +374,7 @@ def perform_encounter(
         now=now,
         max_items=budget,
         transport=channel(first, second),
+        use_index=use_index,
     )
     if budget is not None:
         budget = max(0, budget - stats_a.sent_total)
@@ -330,5 +384,6 @@ def perform_encounter(
         now=now,
         max_items=budget,
         transport=channel(second, first),
+        use_index=use_index,
     )
     return [stats_a, stats_b]

@@ -21,10 +21,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Set, Tuple
 
+from repro._compat import DATACLASS_SLOTS
+
 from .ids import ReplicaId, Version
 
+#: Shared empty set returned by :meth:`VersionVector.extra_counters` when a
+#: replica has no out-of-order counters — avoids allocating per lookup on
+#: the sync hot path.
+_NO_EXTRAS: FrozenSet[int] = frozenset()
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class _Entry:
     """Knowledge about one authoring replica: prefix + extras.
 
@@ -63,6 +70,10 @@ class _Entry:
         return _Entry.canonical(self.prefix, self.extras | {counter})
 
     def merge(self, other: "_Entry") -> "_Entry":
+        if other.prefix <= self.prefix and all(
+            self.contains(c) for c in other.extras
+        ):
+            return self
         prefix = max(self.prefix, other.prefix)
         return _Entry.canonical(prefix, self.extras | other.extras)
 
@@ -91,12 +102,19 @@ class VersionVector:
     ``contains`` / ``add`` / ``merge`` / ``dominates``. Mutating methods
     return ``None`` and update in place (replicas own their knowledge);
     use :meth:`copy` to snapshot before handing a vector to a peer.
+
+    Snapshots are **copy-on-write**: :meth:`copy` is O(1) — it shares the
+    underlying entry table and the first mutation on either side pays the
+    O(replicas) detach. Entries themselves are immutable, so sharing the
+    table is safe; a sync request's knowledge snapshot therefore costs
+    nothing unless the replica learns something mid-session.
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_shared")
 
     def __init__(self, entries: Mapping[ReplicaId, _Entry] | None = None) -> None:
         self._entries: Dict[ReplicaId, _Entry] = dict(entries or {})
+        self._shared = False
 
     # -- construction helpers -------------------------------------------------
 
@@ -112,7 +130,18 @@ class VersionVector:
         return vector
 
     def copy(self) -> "VersionVector":
-        return VersionVector(self._entries)
+        """An O(1) copy-on-write snapshot of this vector."""
+        snapshot = VersionVector.__new__(VersionVector)
+        snapshot._entries = self._entries
+        snapshot._shared = True
+        self._shared = True
+        return snapshot
+
+    def _detach(self) -> None:
+        """Take private ownership of the entry table before a write."""
+        if self._shared:
+            self._entries = dict(self._entries)
+            self._shared = False
 
     # -- set operations --------------------------------------------------------
 
@@ -128,15 +157,17 @@ class VersionVector:
         entry = self._entries.get(version.replica, _Entry())
         updated = entry.add(version.counter)
         if updated is not entry:
+            self._detach()
             self._entries[version.replica] = updated
 
     def merge(self, other: "VersionVector") -> None:
         """Union ``other`` into this vector (in place)."""
         for replica, other_entry in other._entries.items():
             mine = self._entries.get(replica)
-            self._entries[replica] = (
-                other_entry if mine is None else mine.merge(other_entry)
-            )
+            merged = other_entry if mine is None else mine.merge(other_entry)
+            if merged is not mine:
+                self._detach()
+                self._entries[replica] = merged
 
     def merged(self, other: "VersionVector") -> "VersionVector":
         """Return a new vector equal to the union of both operands."""
@@ -161,6 +192,17 @@ class VersionVector:
         """The contiguous prefix of counters known for ``replica``."""
         entry = self._entries.get(replica)
         return entry.prefix if entry is not None else 0
+
+    def extra_counters(self, replica: ReplicaId) -> FrozenSet[int]:
+        """Out-of-order counters known for ``replica`` beyond its prefix.
+
+        Together with :meth:`known_counter_prefix` this exposes the exact
+        shape of an entry, which is what lets a version-indexed store
+        enumerate only the counters this vector does *not* cover instead
+        of probing :meth:`contains` per stored item.
+        """
+        entry = self._entries.get(replica)
+        return entry.extras if entry is not None else _NO_EXTRAS
 
     def replicas(self) -> Tuple[ReplicaId, ...]:
         """The authoring replicas this vector has knowledge about (sorted)."""

@@ -1,0 +1,117 @@
+"""Tests for filter fingerprints and the memoised match cache.
+
+The fingerprint is the cache's correctness lever: equal-content filters
+must collide (so repeat encounters hit) and different-content filters must
+not (so a day-boundary filter change can never serve a stale match).
+"""
+
+from repro.replication.filters import (
+    AddressFilter,
+    AllFilter,
+    AttributeFilter,
+    FilterMatchCache,
+    MultiAddressFilter,
+    NotFilter,
+    NothingFilter,
+)
+from tests.conftest import make_item, make_version
+
+
+class TestFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        assert AddressFilter("bus-1").fingerprint() == AddressFilter("bus-1").fingerprint()
+        assert (
+            MultiAddressFilter("bus-1", frozenset({"u2", "u1"})).fingerprint()
+            == MultiAddressFilter("bus-1", frozenset({"u1", "u2"})).fingerprint()
+        )
+
+    def test_different_content_different_fingerprint(self):
+        assert AddressFilter("bus-1").fingerprint() != AddressFilter("bus-2").fingerprint()
+        assert (
+            MultiAddressFilter("bus-1").fingerprint()
+            != MultiAddressFilter("bus-1", frozenset({"u1"})).fingerprint()
+        )
+
+    def test_type_distinguishes(self):
+        assert AllFilter().fingerprint() != NothingFilter().fingerprint()
+        inner = AttributeFilter("kind", "news")
+        assert inner.fingerprint() != NotFilter(inner).fingerprint()
+
+    def test_combinators_fingerprint_recursively(self):
+        a, b = AddressFilter("x"), AddressFilter("y")
+        assert (a & b).fingerprint() == (a & b).fingerprint()
+        assert (a & b).fingerprint() != (b & a).fingerprint()  # ordered operands
+        assert (a & b).fingerprint() != (a | b).fingerprint()
+
+    def test_memoised_on_the_instance(self):
+        filter_ = MultiAddressFilter("bus-1", frozenset({"u1"}))
+        assert filter_.fingerprint() is filter_.fingerprint()
+
+
+class TestFilterMatchCache:
+    def test_caches_positive_and_negative_results(self):
+        cache = FilterMatchCache()
+        filter_ = AddressFilter("alice")
+        hit = make_item(destination="alice")
+        miss = make_item(destination="bob")
+        assert cache.matches(filter_, hit) is True
+        assert cache.matches(filter_, miss) is False
+        assert cache.misses == 2 and cache.hits == 0
+        # Second round: both answers served from cache, including False.
+        assert cache.matches(filter_, hit) is True
+        assert cache.matches(filter_, miss) is False
+        assert cache.hits == 2 and cache.misses == 2
+
+    def test_changed_filter_misses_instead_of_serving_stale(self):
+        cache = FilterMatchCache()
+        item = make_item(destination="u1")
+        before = MultiAddressFilter("bus-1")
+        after = MultiAddressFilter("bus-1", frozenset({"u1"}))
+        assert cache.matches(before, item) is False
+        # The day-boundary reassignment builds a new filter object; its
+        # fingerprint differs, so the stale False cannot be replayed.
+        assert cache.matches(after, item) is True
+        assert cache.matches(before, item) is False  # old entry still valid
+
+    def test_rebuilt_equal_filter_still_hits(self):
+        cache = FilterMatchCache()
+        item = make_item(destination="u1")
+        assert cache.matches(MultiAddressFilter("b", frozenset({"u1"})), item)
+        assert cache.matches(MultiAddressFilter("b", frozenset({"u1"})), item)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_item_update_invalidates_per_item_entry(self):
+        cache = FilterMatchCache()
+        filter_ = AddressFilter("alice")
+        item = make_item(destination="alice", replica="origin", counter=1)
+        assert cache.matches(filter_, item) is True
+        # A new version rewrites the destination: the version check must
+        # drop every cached decision for the item.
+        updated = item.with_version(
+            make_version("origin", 2),
+            attributes={**item.attributes, "destination": "bob"},
+        )
+        assert cache.matches(filter_, updated) is False
+        assert cache.invalidations == 1
+
+    def test_forget_drops_the_item(self):
+        cache = FilterMatchCache()
+        filter_ = AddressFilter("alice")
+        item = make_item(destination="alice")
+        cache.matches(filter_, item)
+        assert len(cache) == 1
+        cache.forget(item.item_id)
+        assert len(cache) == 0
+        cache.forget(item.item_id)  # idempotent
+        assert cache.matches(filter_, item) is True
+        assert cache.misses == 2
+
+    def test_footprint_tracks_distinct_items(self):
+        cache = FilterMatchCache()
+        filter_ = AddressFilter("alice")
+        items = [make_item() for _ in range(5)]
+        for item in items:
+            cache.matches(filter_, item)
+        assert len(cache) == 5
+        cache.clear()
+        assert len(cache) == 0

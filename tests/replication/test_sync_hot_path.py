@@ -1,0 +1,166 @@
+"""Tests for the version-indexed batch builder and its partial sort.
+
+Two equivalences underpin the hot-path optimisation and both are load
+bearing for reproducibility (the evaluation figures must not move):
+
+* ``build_batch(use_index=True)`` must produce the identical batch to the
+  reference full-scan path (``use_index=False``), entry for entry;
+* truncation under a bandwidth cap uses ``heapq.nsmallest`` and must pick
+  exactly the prefix a stable full sort followed by a slice would — ties
+  inside a priority band resolve by enumeration order either way.
+"""
+
+import random
+import sys
+from typing import Optional
+
+import pytest
+
+from repro.replication import Replica, ReplicaId, SyncEndpoint
+from repro.replication.filters import AddressFilter, AllFilter
+from repro.replication.routing import (
+    Priority,
+    PriorityClass,
+    RoutingPolicy,
+    SyncContext,
+)
+from repro.replication.sync import BatchEntry, build_batch, build_request
+from tests.conftest import make_item
+
+
+class BandPolicy(RoutingPolicy):
+    """Forwards everything, priority band taken from the item's ``band``
+    attribute — many items share a band, producing the tie-heavy batches
+    the truncation equivalence test needs."""
+
+    name = "band"
+
+    _BANDS = (PriorityClass.HIGH, PriorityClass.NORMAL, PriorityClass.LOW)
+
+    def to_send(
+        self, item, target_filter, context: SyncContext
+    ) -> Optional[Priority]:
+        return Priority(self._BANDS[item.attribute("band") % len(self._BANDS)])
+
+
+def populated_source(n_items: int, seed: int = 0) -> SyncEndpoint:
+    """A source holding ``n_items`` remote items, none addressed to 'target'."""
+    rng = random.Random(seed)
+    replica = Replica(ReplicaId("src"), AllFilter())
+    for index in range(n_items):
+        replica.apply_remote(
+            make_item(destination=f"user-{index % 4}", band=rng.randrange(3))
+        )
+    return SyncEndpoint(replica, BandPolicy())
+
+
+def target_request():
+    target = SyncEndpoint(Replica(ReplicaId("target"), AddressFilter("target")))
+    context = SyncContext(
+        local=target.replica_id, remote=ReplicaId("src"), now=0.0
+    )
+    return build_request(target, context)
+
+
+def source_context(source: SyncEndpoint) -> SyncContext:
+    return SyncContext(
+        local=source.replica_id, remote=ReplicaId("target"), now=0.0
+    )
+
+
+class TestTruncationPrefix:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_nsmallest_picks_the_sort_then_slice_prefix(self, seed):
+        source = populated_source(40, seed=seed)
+        request = target_request()
+        context = source_context(source)
+        full, _ = build_batch(source, request, context)
+        assert len(full) == 40
+        # The uncapped batch is the stable full sort; every cap must yield
+        # exactly its prefix, despite going through the partial sort.
+        for cap in (1, 3, 7, 20, 39, 40, 100):
+            capped, stats = build_batch(source, request, context, max_items=cap)
+            assert capped == full[:cap]
+            assert stats.truncated == max(0, len(full) - cap)
+
+    def test_scan_path_truncates_identically(self):
+        source = populated_source(40, seed=3)
+        request = target_request()
+        context = source_context(source)
+        for cap in (5, 17):
+            indexed, _ = build_batch(source, request, context, max_items=cap)
+            scanned, _ = build_batch(
+                source, request, context, max_items=cap, use_index=False
+            )
+            assert indexed == scanned
+
+    def test_cap_zero_sends_nothing(self):
+        source = populated_source(8)
+        batch, stats = build_batch(
+            source, target_request(), source_context(source), max_items=0
+        )
+        assert batch == []
+        assert stats.truncated == 8
+
+
+class TestIndexScanBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_identical_batches_and_counters(self, seed):
+        source = populated_source(30, seed=seed)
+        request = target_request()
+        context = source_context(source)
+        indexed, indexed_stats = build_batch(source, request, context)
+        scanned, scanned_stats = build_batch(
+            source, request, context, use_index=False
+        )
+        assert indexed == scanned
+        assert indexed_stats.candidates == scanned_stats.candidates
+        assert indexed_stats.store_size == scanned_stats.store_size == 30
+
+    def test_partially_known_target_shrinks_candidates(self):
+        source = populated_source(20)
+        request = target_request()
+        # Target learns the first 12 items out of band.
+        for item in list(source.replica.stored_items())[:12]:
+            request.knowledge.add(item.version)
+        batch, stats = build_batch(source, request, source_context(source))
+        assert stats.store_size == 20
+        assert stats.candidates == 8
+        assert stats.index_skipped == 12
+        assert len(batch) == 8
+
+    def test_repeat_encounter_hits_the_filter_cache(self):
+        source = populated_source(10)
+        request = target_request()
+        context = source_context(source)
+        _, first = build_batch(source, request, context)
+        assert first.filter_cache_misses == 10
+        assert first.filter_cache_hits == 0
+        _, second = build_batch(source, request, context)
+        assert second.filter_cache_misses == 0
+        assert second.filter_cache_hits == 10
+
+    def test_scan_path_bypasses_the_filter_cache(self):
+        source = populated_source(10)
+        request = target_request()
+        _, stats = build_batch(
+            source, request, source_context(source), use_index=False
+        )
+        assert stats.filter_cache_hits == 0
+        assert stats.filter_cache_misses == 0
+        assert len(source.replica.filter_cache) == 0
+
+
+@pytest.mark.skipif(
+    sys.version_info < (3, 10), reason="dataclass slots need Python 3.10+"
+)
+class TestSlottedHotPathTypes:
+    def test_batch_entry_and_priority_have_no_dict(self):
+        entry = BatchEntry(make_item(), True, Priority(PriorityClass.NORMAL))
+        assert not hasattr(entry, "__dict__")
+        assert not hasattr(entry.priority, "__dict__")
+
+    def test_priority_stays_frozen(self):
+        priority = Priority(PriorityClass.NORMAL)
+        with pytest.raises(Exception):
+            priority.cost = 1.0

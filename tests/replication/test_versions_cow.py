@@ -1,0 +1,111 @@
+"""Tests for copy-on-write version-vector snapshots.
+
+``build_request`` snapshots the target's knowledge on every sync, so
+``copy()`` is hot-path: it must be O(1) table sharing, with the first
+mutation on either side detaching — and the snapshot must behave exactly
+like a deep copy observationally.
+"""
+
+from repro.replication.versions import VersionVector
+from tests.conftest import make_version
+
+
+def vector_of(*versions):
+    vector = VersionVector.empty()
+    for version in versions:
+        vector.add(version)
+    return vector
+
+
+class TestCopyOnWrite:
+    def test_copy_shares_until_either_side_writes(self):
+        original = vector_of(make_version("a", 1), make_version("a", 2))
+        snapshot = original.copy()
+        assert snapshot._entries is original._entries  # O(1): shared table
+        original.add(make_version("a", 3))
+        assert snapshot._entries is not original._entries
+
+    def test_mutating_original_leaves_snapshot_unchanged(self):
+        original = vector_of(make_version("a", 1))
+        snapshot = original.copy()
+        original.add(make_version("a", 2))
+        original.add(make_version("b", 1))
+        assert snapshot.contains(make_version("a", 1))
+        assert not snapshot.contains(make_version("a", 2))
+        assert not snapshot.contains(make_version("b", 1))
+
+    def test_mutating_snapshot_leaves_original_unchanged(self):
+        original = vector_of(make_version("a", 1))
+        snapshot = original.copy()
+        snapshot.add(make_version("z", 9))
+        assert not original.contains(make_version("z", 9))
+        assert original == vector_of(make_version("a", 1))
+
+    def test_chained_snapshots_are_independent(self):
+        original = vector_of(make_version("a", 1))
+        first = original.copy()
+        second = first.copy()
+        first.add(make_version("a", 2))
+        second.add(make_version("a", 3))
+        assert not original.contains(make_version("a", 2))
+        assert not original.contains(make_version("a", 3))
+        assert not second.contains(make_version("a", 2))
+        assert not first.contains(make_version("a", 3))
+
+    def test_noop_add_keeps_sharing(self):
+        original = vector_of(make_version("a", 1), make_version("a", 2))
+        snapshot = original.copy()
+        original.add(make_version("a", 1))  # already known: no detach
+        assert snapshot._entries is original._entries
+
+    def test_noop_merge_keeps_sharing(self):
+        original = vector_of(
+            make_version("a", 1), make_version("a", 2), make_version("a", 3)
+        )
+        snapshot = original.copy()
+        dominated = vector_of(make_version("a", 1), make_version("a", 2))
+        original.merge(dominated)  # already covered: no detach
+        assert snapshot._entries is original._entries
+        assert original.known_counter_prefix(make_version("a", 1).replica) == 3
+
+    def test_merge_into_snapshot_detaches(self):
+        original = vector_of(make_version("a", 1))
+        snapshot = original.copy()
+        snapshot.merge(vector_of(make_version("b", 2)))
+        assert snapshot.contains(make_version("b", 2))
+        assert not original.contains(make_version("b", 2))
+
+    def test_merged_builds_a_fresh_union(self):
+        left = vector_of(make_version("a", 1))
+        right = vector_of(make_version("b", 1))
+        union = left.merged(right)
+        assert union.contains(make_version("a", 1))
+        assert union.contains(make_version("b", 1))
+        union.add(make_version("c", 1))
+        assert not left.contains(make_version("c", 1))
+        assert not right.contains(make_version("c", 1))
+
+    def test_copy_equality_and_repr_survive(self):
+        original = vector_of(make_version("a", 2), make_version("b", 5))
+        snapshot = original.copy()
+        assert snapshot == original
+        assert repr(snapshot) == repr(original)
+
+
+class TestExtraCounters:
+    def test_empty_replica_returns_shared_empty_frozenset(self):
+        vector = VersionVector.empty()
+        first = vector.extra_counters(make_version("a", 1).replica)
+        second = vector.extra_counters(make_version("b", 1).replica)
+        assert first == frozenset()
+        assert first is second  # no allocation per probe
+
+    def test_extras_reflect_out_of_order_knowledge(self):
+        replica = make_version("a", 1).replica
+        vector = vector_of(make_version("a", 1), make_version("a", 4))
+        assert vector.known_counter_prefix(replica) == 1
+        assert vector.extra_counters(replica) == frozenset({4})
+        vector.add(make_version("a", 2))
+        vector.add(make_version("a", 3))  # gap closes, extras fold in
+        assert vector.known_counter_prefix(replica) == 4
+        assert vector.extra_counters(replica) == frozenset()
