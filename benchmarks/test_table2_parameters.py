@@ -5,7 +5,7 @@ parameter values printed in the paper, and that those values actually land
 on the policy objects the experiments run.
 """
 
-from repro.dtn import create_policy
+from repro.dtn import get_policy
 from repro.experiments.report import render_table_2
 from repro.experiments.tables import TABLE_II, TABLE_II_PAPER_VALUES
 
@@ -13,15 +13,15 @@ from repro.experiments.tables import TABLE_II, TABLE_II_PAPER_VALUES
 def test_table_2_parameters(benchmark, report):
     def verify():
         assert TABLE_II == TABLE_II_PAPER_VALUES
-        assert create_policy("epidemic").initial_ttl == 10
-        assert create_policy("spray").initial_copies == 8
-        prophet = create_policy("prophet")
+        assert get_policy("epidemic").initial_ttl == 10
+        assert get_policy("spray").initial_copies == 8
+        prophet = get_policy("prophet")
         assert (prophet.p_init, prophet.beta, prophet.gamma) == (
             0.75,
             0.25,
             0.98,
         )
-        assert create_policy("maxprop").hop_threshold == 3
+        assert get_policy("maxprop").hop_threshold == 3
         return True
 
     assert benchmark.pedantic(verify, rounds=1, iterations=1)

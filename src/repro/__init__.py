@@ -17,14 +17,19 @@ The package layers, bottom to top:
 * :mod:`repro.traces` — DieselNet-like mobility and Enron-like e-mail
   workload generators, plus parsers for real data.
 * :mod:`repro.experiments` — harnesses regenerating every table and figure
-  of the paper's evaluation.
+  of the paper's evaluation, plus the process-parallel sweep engine and
+  its content-addressed run-artifact store.
 * :mod:`repro.analysis` — statistics helpers.
+
+The *supported* surface is :mod:`repro.api` — a curated, stability-policed
+facade (see ``docs/api.md``). Everything else is importable but internal.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
+    "api",
     "dtn",
     "emulation",
     "experiments",

@@ -8,7 +8,10 @@ missing.
 
 from __future__ import annotations
 
+import dataclasses
+import functools
 import sys
+import warnings
 
 #: Keyword arguments adding ``__slots__`` to a ``@dataclass`` where the
 #: interpreter supports it (3.10+). Hot value types (batch entries,
@@ -16,3 +19,51 @@ import sys
 #: trace replay; slots cut their per-instance memory and attribute-lookup
 #: cost. On 3.9 the classes simply keep their ``__dict__``.
 DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
+
+
+def keyword_only_dataclass(cls):
+    """Make a dataclass's constructor keyword-only, with a positional shim.
+
+    The supported call form is keyword-only; positional arguments keep
+    working for one release but emit :class:`DeprecationWarning` (the 3.9
+    floor rules out ``@dataclass(kw_only=True)``, and that form would hard
+    break old callers anyway). Unknown field names raise :class:`TypeError`
+    naming the offending field and listing the valid ones, which is the
+    error contract ``repro.api`` documents.
+    """
+    original_init = cls.__init__
+    field_names = [f.name for f in dataclasses.fields(cls) if f.init]
+    valid = frozenset(field_names)
+
+    @functools.wraps(original_init)
+    def __init__(self, *args, **kwargs):
+        if args:
+            warnings.warn(
+                f"positional arguments to {cls.__name__}() are deprecated; "
+                "pass every field by keyword",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > len(field_names):
+                raise TypeError(
+                    f"{cls.__name__}() takes at most {len(field_names)} "
+                    f"arguments ({len(args)} given)"
+                )
+            for name, value in zip(field_names, args):
+                if name in kwargs:
+                    raise TypeError(
+                        f"{cls.__name__}() got multiple values for field "
+                        f"{name!r}"
+                    )
+                kwargs[name] = value
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise TypeError(
+                f"{cls.__name__}() got unexpected field(s) "
+                f"{', '.join(repr(name) for name in unknown)}; valid fields: "
+                f"{', '.join(field_names)}"
+            )
+        original_init(self, **kwargs)
+
+    cls.__init__ = __init__
+    return cls

@@ -1,0 +1,86 @@
+"""The supported public surface of :mod:`repro`, in one flat namespace.
+
+``repro.api`` is a curated facade: everything re-exported here is covered
+by the stability policy in ``docs/api.md`` — keyword-compatible across
+minor releases, with at least one release of :class:`DeprecationWarning`
+before any breaking change. Internal modules stay importable (this is
+research code; poke at anything), but only the names below are *promised*.
+
+Typical use::
+
+    from repro.api import ExperimentConfig, RunStore, expand_grid, run_sweep
+
+    grid = expand_grid(
+        ExperimentConfig(scale=0.5),
+        policies=["epidemic", "spray"],
+        seeds=[0, 1, 2],
+    )
+    report = run_sweep(grid, store=RunStore("results/runs"), workers=4)
+
+Groups:
+
+* **Experiments** — :class:`ExperimentConfig`, :func:`run_experiment`,
+  :class:`ExperimentResult`, :func:`configured_scale`.
+* **Sweeps** — :func:`expand_grid`, :func:`run_sweep`,
+  :class:`SweepEvent`, :class:`SweepReport`, :class:`RunOutcome`,
+  :class:`RunStore`, :exc:`StoreError`, :func:`run_id_for`,
+  :func:`config_digest`, :func:`sweep_id_for`.
+* **Metrics** — :class:`MetricsCollector`, :class:`MessageRecord`.
+* **Policies** — :func:`get_policy`, :func:`register_policy`,
+  :func:`available_policies`, :func:`default_parameters`,
+  :data:`PAPER_POLICY_ORDER`.
+* **Faults** — :class:`FaultConfig`.
+"""
+
+from __future__ import annotations
+
+from repro.dtn.registry import (
+    PAPER_POLICY_ORDER,
+    available_policies,
+    default_parameters,
+    get_policy,
+    register_policy,
+)
+from repro.emulation.metrics import MessageRecord, MetricsCollector
+from repro.experiments.config import ExperimentConfig, configured_scale
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.store import (
+    RunStore,
+    StoreError,
+    config_digest,
+    run_id_for,
+    sweep_id_for,
+)
+from repro.experiments.sweep import (
+    RunOutcome,
+    SweepEvent,
+    SweepReport,
+    expand_grid,
+    run_sweep,
+)
+from repro.faults.config import FaultConfig
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FaultConfig",
+    "MessageRecord",
+    "MetricsCollector",
+    "PAPER_POLICY_ORDER",
+    "RunOutcome",
+    "RunStore",
+    "StoreError",
+    "SweepEvent",
+    "SweepReport",
+    "available_policies",
+    "config_digest",
+    "configured_scale",
+    "default_parameters",
+    "expand_grid",
+    "get_policy",
+    "register_policy",
+    "run_experiment",
+    "run_id_for",
+    "run_sweep",
+    "sweep_id_for",
+]

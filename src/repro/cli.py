@@ -9,19 +9,30 @@ Usage (installed as ``python -m repro``):
                         [--fault-drop P] [--fault-truncation P]
                         [--fault-duplication P] [--fault-crash P]
                         [--fault-seed N]
+    python -m repro sweep [--policies P ...] [--seeds N ...]
+                          [--bandwidth-limits N|none ...]
+                          [--storage-limits N|none ...]
+                          [--scale S] [--workers N] [--no-resume]
+                          [--filter LABEL] [--results-dir DIR]
     python -m repro figure {5,6,7,8,9,10,all} [--scale S]
+                           [--results-dir DIR]
     python -m repro tables
     python -m repro bench sync [--nodes N] [--items M] [--encounters E]
                                [--seed S] [--output PATH]
                                [--min-reduction R]
+    python -m repro bench sweep [--workers N] [--scale S]
+                                [--policies P ...] [--seeds N ...]
+                                [--output PATH] [--min-speedup X]
 
 Every command prints paper-style rows; ``figure`` also honours
-``--output-dir`` to persist them.
+``--output-dir`` to persist them, and ``sweep`` materializes every run as
+a JSON artifact in the content-addressed store (see ``docs/sweeps.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from typing import Optional, Sequence
@@ -112,6 +123,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the fault injector's RNG (default 23)",
     )
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a config grid across worker processes into the run store",
+    )
+    sweep.add_argument(
+        "--policies", nargs="+", default=list(PAPER_POLICY_ORDER),
+        metavar="POLICY",
+        help="policies on the grid (default: the paper's five)",
+    )
+    sweep.add_argument(
+        "--seeds", nargs="+", type=int, default=[0], metavar="N",
+        help="replicate seeds; each offsets every determinism knob",
+    )
+    sweep.add_argument(
+        "--bandwidth-limits", nargs="+", default=None, metavar="N|none",
+        help="bandwidth caps on the grid ('none' = unconstrained)",
+    )
+    sweep.add_argument(
+        "--storage-limits", nargs="+", default=None, metavar="N|none",
+        help="storage caps on the grid ('none' = unconstrained)",
+    )
+    sweep.add_argument("--scale", type=float, default=None)
+    sweep.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: the machine's CPU count)",
+    )
+    sweep.add_argument(
+        "--no-resume", action="store_true",
+        help="re-run cells whose artifacts already exist (overwrites them)",
+    )
+    sweep.add_argument(
+        "--filter", default=None, metavar="LABEL",
+        help="only run grid cells whose label contains this substring",
+    )
+    sweep.add_argument(
+        "--results-dir", type=pathlib.Path,
+        default=pathlib.Path("results") / "runs",
+        help="artifact store root (default results/runs)",
+    )
+    sweep.add_argument(
+        "--extra-days", type=int, default=0,
+        help="emulate this many extra quiet days after the trace ends",
+    )
+    sweep.add_argument(
+        "--report", action="store_true",
+        help="after the sweep, print summary tables read back from the "
+             "artifact store",
+    )
+
     figure = subparsers.add_parser(
         "figure", help="regenerate a figure of the paper's evaluation"
     )
@@ -120,13 +180,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument("--scale", type=float, default=None)
     figure.add_argument("--output-dir", type=pathlib.Path, default=None)
+    figure.add_argument(
+        "--results-dir", type=pathlib.Path, default=None, metavar="DIR",
+        help="read/write run artifacts in this store instead of re-running "
+             "every configuration in memory (e.g. results/runs)",
+    )
 
     subparsers.add_parser("tables", help="print Tables I and II")
 
     bench = subparsers.add_parser(
         "bench", help="run a micro-benchmark and record its JSON artifact"
     )
-    bench.add_argument("which", choices=("sync",))
+    bench.add_argument("which", choices=("sync", "sweep"))
     bench.add_argument("--nodes", type=int, default=50)
     bench.add_argument("--items", type=int, default=5000)
     bench.add_argument("--encounters", type=int, default=10000)
@@ -141,13 +206,35 @@ def build_parser() -> argparse.ArgumentParser:
              "(0 disables)",
     )
     bench.add_argument(
-        "--output", type=pathlib.Path, default=pathlib.Path("BENCH_sync.json"),
-        help="where to write the JSON artifact (default ./BENCH_sync.json)",
+        "--output", type=pathlib.Path, default=None,
+        help="where to write the JSON artifact "
+             "(default ./BENCH_sync.json / ./BENCH_sweep.json)",
     )
     bench.add_argument(
         "--min-reduction", type=float, default=None, metavar="R",
-        help="fail (exit 1) unless items-scanned-per-encounter improved by "
-             "at least this factor over the full-scan baseline",
+        help="[sync] fail (exit 1) unless items-scanned-per-encounter "
+             "improved by at least this factor over the full-scan baseline",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="[sweep] worker processes for the parallel leg",
+    )
+    bench.add_argument(
+        "--scale", type=float, default=0.5,
+        help="[sweep] scenario scale for every grid cell",
+    )
+    bench.add_argument(
+        "--policies", nargs="+", default=None, metavar="POLICY",
+        help="[sweep] grid policies (default epidemic spray prophet maxprop)",
+    )
+    bench.add_argument(
+        "--seeds", nargs="+", type=int, default=None, metavar="N",
+        help="[sweep] grid replicate seeds (default 0 1)",
+    )
+    bench.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="[sweep] fail (exit 1) unless the parallel leg beat the serial "
+             "leg by at least this factor (only meaningful on multi-core)",
     )
     return parser
 
@@ -223,6 +310,99 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_limits(raw: Optional[Sequence[str]]) -> Sequence[Optional[int]]:
+    """``["none", "1", "8"] → [None, 1, 8]`` for the sweep grid axes."""
+    if raw is None:
+        return ()
+    limits = []
+    for token in raw:
+        limits.append(None if token.lower() == "none" else int(token))
+    return limits
+
+
+def _print_sweep_event(event) -> None:
+    position = f"[{event.completed}/{event.total}]"
+    if event.kind == "started":
+        print(f"{position} start    {event.label}  ({event.run_id})")
+    elif event.kind == "reused":
+        print(f"{position} reused   {event.label}  ({event.run_id})")
+    elif event.kind == "finished":
+        telemetry = event.telemetry or {}
+        counters = " ".join(
+            f"{key}={telemetry[key]:g}"
+            for key in ("delivered", "injected", "syncs", "transmissions")
+            if key in telemetry
+        )
+        print(f"{position} finished {event.label}  {counters}")
+    elif event.kind == "failed":
+        print(f"{position} FAILED   {event.label}  ({event.run_id})")
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.store import RunStore
+    from repro.experiments.sweep import expand_grid, filter_by_label, run_sweep
+
+    try:
+        for policy in args.policies:
+            if policy.lower() not in available_policies():
+                raise KeyError(
+                    f"unknown policy {policy!r}; registered policies: "
+                    f"{', '.join(available_policies())}"
+                )
+        base = ExperimentConfig(scale=_scale(args.scale))
+        grid = expand_grid(
+            base,
+            policies=args.policies,
+            bandwidth_limits=_parse_limits(args.bandwidth_limits),
+            storage_limits=_parse_limits(args.storage_limits),
+            seeds=args.seeds,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.filter:
+        grid = filter_by_label(grid, args.filter)
+    if not grid:
+        print("error: the grid is empty after filtering", file=sys.stderr)
+        return 2
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    store = RunStore(args.results_dir)
+    report = run_sweep(
+        grid,
+        store=store,
+        workers=workers,
+        resume=not args.no_resume,
+        progress=_print_sweep_event,
+        extra_days=args.extra_days,
+    )
+    print(
+        f"sweep {report.sweep_id}: {len(report.outcomes)} runs — "
+        f"{report.completed} completed, {report.reused} reused, "
+        f"{report.failed} failed "
+        f"(wall {report.wall_clock_s:.1f}s, workers {workers})"
+    )
+    statuses = store.validate_manifest(report.sweep_id)
+    ok = sum(1 for status in statuses.values() if status == "ok")
+    missing = sum(1 for status in statuses.values() if status == "missing")
+    invalid = len(statuses) - ok - missing
+    print(f"manifest: {ok} ok, {missing} missing, {invalid} invalid")
+    for outcome in report.outcomes:
+        if outcome.status == "failed":
+            print(f"--- {outcome.run_id} failed ---", file=sys.stderr)
+            print(outcome.error, file=sys.stderr)
+    if args.report:
+        from repro.experiments.report import (
+            render_measured_table,
+            render_store_summary,
+        )
+
+        print()
+        print(render_store_summary(store, label_filter=args.filter))
+        print()
+        print(render_measured_table(store))
+    return 0 if report.failed == 0 and invalid == 0 and missing == 0 else 1
+
+
 def _emit(text: str, name: str, output_dir: Optional[pathlib.Path]) -> None:
     print(text)
     print()
@@ -233,6 +413,11 @@ def _emit(text: str, name: str, output_dir: Optional[pathlib.Path]) -> None:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     inputs = SharedScenarioInputs.at_scale(_scale(args.scale))
+    if args.results_dir is not None:
+        from repro.experiments.figures import RESULT_CACHE
+        from repro.experiments.store import RunStore
+
+        RESULT_CACHE.attach_store(RunStore(args.results_dir))
     which = args.which
     out = args.output_dir
 
@@ -309,6 +494,58 @@ def cmd_tables(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.which == "sweep":
+        return _cmd_bench_sweep(args)
+    return _cmd_bench_sync(args)
+
+
+def _cmd_bench_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_sweep import (
+        DEFAULT_POLICIES,
+        DEFAULT_SEEDS,
+        SweepBenchConfig,
+        run_sweep_bench,
+        write_sweep_bench,
+    )
+
+    try:
+        config = SweepBenchConfig(
+            scale=args.scale,
+            workers=args.workers,
+            policies=tuple(args.policies or DEFAULT_POLICIES),
+            seeds=tuple(args.seeds if args.seeds is not None else DEFAULT_SEEDS),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_sweep_bench(config)
+    output = args.output or pathlib.Path("BENCH_sweep.json")
+    path = write_sweep_bench(report, output)
+    runs = report["config"]["runs"]
+    speedup = report["speedup_wall_clock"]
+    print(f"sweep bench: {runs} runs at scale {config.scale}, "
+          f"{config.workers} workers, {report['cpu_count']} CPUs")
+    print(f"{'serial wall clock':>28} | {report['serial']['wall_clock_s']:>9.3f}s")
+    print(f"{'parallel wall clock':>28} | {report['parallel']['wall_clock_s']:>9.3f}s")
+    print(f"{'speedup':>28} | {speedup:.2f}x")
+    equivalence = report["equivalence"]
+    print(f"{'equivalence':>28} | {equivalence['runs_compared']} runs compared, "
+          f"byte-identical results: {equivalence['byte_identical_results']}")
+    print(f"artifact written to {path}")
+    if not equivalence["byte_identical_results"]:
+        print("error: parallel and serial sweeps diverged", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"error: sweep speedup {speedup:.2f}x is below the required "
+            f"{args.min_speedup:.2f}x (machine has {report['cpu_count']} CPUs)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench_sync(args: argparse.Namespace) -> int:
     from repro.experiments.bench import (
         SyncBenchConfig,
         run_sync_bench,
@@ -328,7 +565,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     report = run_sync_bench(config)
-    path = write_sync_bench(report, args.output)
+    path = write_sync_bench(report, args.output or pathlib.Path("BENCH_sync.json"))
     indexed = report["indexed"]
     baseline = report["baseline_full_scan"]
     reduction = report["reduction_factor_items_scanned"]
@@ -369,6 +606,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "trace": cmd_trace,
         "run": cmd_run,
+        "sweep": cmd_sweep,
         "figure": cmd_figure,
         "tables": cmd_tables,
         "bench": cmd_bench,

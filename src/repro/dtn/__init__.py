@@ -32,6 +32,7 @@ from .registry import (
     available_policies,
     create_policy,
     default_parameters,
+    get_policy,
     register_policy,
 )
 from .spray_wait import COPIES_ATTRIBUTE, DEFAULT_COPIES, SprayAndWaitPolicy
@@ -63,5 +64,6 @@ __all__ = [
     "create_policy",
     "default_parameters",
     "filter_addresses",
+    "get_policy",
     "register_policy",
 ]

@@ -4,10 +4,16 @@ Experiment configs refer to policies by name (``"epidemic"``, ``"spray"``,
 ``"prophet"``, ``"maxprop"``, ``"cimbiosys"``); the registry turns a name
 plus optional parameter overrides into a fresh, unbound policy instance.
 Every emulated node gets its own instance — policies hold per-host state.
+
+:func:`get_policy` is the single supported entry point for turning a name
+into an instance (names are case-insensitive). Constructing policy classes
+directly still works but skips the Table II defaults; :func:`create_policy`
+is a deprecated alias kept for one release.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, Mapping, Tuple
 
 from .direct import DirectDeliveryPolicy
@@ -51,8 +57,12 @@ PAPER_POLICY_ORDER: Tuple[str, ...] = (
 
 
 def register_policy(name: str, factory: PolicyFactory) -> None:
-    """Register a policy factory under ``name`` (overwrites silently)."""
-    _REGISTRY[name] = factory
+    """Register a policy factory under ``name`` (overwrites silently).
+
+    Names are case-insensitive: they are stored, listed, and looked up in
+    lowercase.
+    """
+    _REGISTRY[name.lower()] = factory
 
 
 def available_policies() -> Tuple[str, ...]:
@@ -60,17 +70,35 @@ def available_policies() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def create_policy(name: str, **overrides: Any) -> DTNPolicy:
-    """Instantiate a registered policy with Table II defaults plus overrides."""
+def get_policy(name: str, **parameters: Any) -> DTNPolicy:
+    """Instantiate the policy registered under ``name``.
+
+    The single supported lookup path: resolves the (case-insensitive)
+    name, applies the paper's Table II defaults, then the caller's
+    ``parameters`` on top. Unknown names raise :class:`KeyError` listing
+    every registered policy.
+    """
+    key = name.lower()
     try:
-        factory = _REGISTRY[name]
+        factory = _REGISTRY[key]
     except KeyError:
         raise KeyError(
-            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+            f"unknown policy {name!r}; registered policies: "
+            f"{', '.join(available_policies())}"
         ) from None
-    parameters: Dict[str, Any] = dict(TABLE_II_PARAMETERS.get(name, {}))
-    parameters.update(overrides)
-    return factory(**parameters)
+    merged: Dict[str, Any] = dict(TABLE_II_PARAMETERS.get(key, {}))
+    merged.update(parameters)
+    return factory(**merged)
+
+
+def create_policy(name: str, **overrides: Any) -> DTNPolicy:
+    """Deprecated alias of :func:`get_policy` (kept for one release)."""
+    warnings.warn(
+        "create_policy() is deprecated; use repro.dtn.registry.get_policy()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return get_policy(name, **overrides)
 
 
 def default_parameters(name: str) -> Mapping[str, Any]:

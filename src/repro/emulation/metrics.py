@@ -14,10 +14,10 @@ delivered messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.replication.ids import ItemId
+from repro.replication.ids import ItemId, ReplicaId
 from repro.replication.sync import SyncStats
 
 HOURS = 3600.0
@@ -48,6 +48,37 @@ class MessageRecord:
         if self.delivered_at is None:
             return None
         return self.delivered_at - self.injected_at
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict; ``from_dict(to_dict())`` reconstructs exactly.
+
+        The item id is kept structured (origin name + serial) rather than
+        as its ``"origin#serial"`` string so reconstruction never has to
+        parse a host name that could itself contain ``#``.
+        """
+        return {
+            "message_id": {
+                "origin": self.message_id.origin.name,
+                "serial": self.message_id.serial,
+            },
+            "source": self.source,
+            "destination": self.destination,
+            "injected_at": self.injected_at,
+            "injected_node": self.injected_node,
+            "delivered_at": self.delivered_at,
+            "delivered_node": self.delivered_node,
+            "copies_at_delivery": self.copies_at_delivery,
+            "copies_at_end": self.copies_at_end,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MessageRecord":
+        payload = dict(data)
+        raw_id = payload.pop("message_id")
+        return cls(
+            message_id=ItemId(ReplicaId(raw_id["origin"]), raw_id["serial"]),
+            **payload,
+        )
 
 
 @dataclass
@@ -264,6 +295,39 @@ class MetricsCollector:
             outstanding += injected.get(day, 0) - delivered.get(day, 0)
             backlog[day] = outstanding
         return backlog
+
+    # -- serialization (the repro.api round-trip contract) ------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict; ``from_dict(to_dict())`` reconstructs exactly.
+
+        Records are emitted sorted by message id so the serialized form is
+        deterministic regardless of delivery-driven insertion order — the
+        property behind the sweep engine's byte-identical parallel/serial
+        artifact guarantee.
+        """
+        data: Dict[str, Any] = {
+            "records": [
+                self.records[message_id].to_dict()
+                for message_id in sorted(self.records)
+            ],
+        }
+        for spec in fields(self):
+            if spec.name != "records":
+                data[spec.name] = getattr(self, spec.name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetricsCollector":
+        payload = dict(data)
+        records = [
+            MessageRecord.from_dict(raw) for raw in payload.pop("records")
+        ]
+        collector = cls(
+            records={record.message_id: record for record in records},
+            **payload,
+        )
+        return collector
 
     def summary(self) -> Dict[str, float]:
         """Headline numbers for reports and experiment assertions."""

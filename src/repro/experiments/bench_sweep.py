@@ -1,0 +1,130 @@
+"""Benchmark of the sweep engine: parallel workers vs the serial runner.
+
+``repro bench sweep`` executes the same config grid twice into two
+throwaway stores — once serially (``workers=1``, the old one-run-per-call
+behaviour) and once through the multiprocessing pool — then:
+
+* asserts every per-run ``result`` block (config, metrics, trace summary)
+  is **byte-identical** between the two, proving process parallelism never
+  perturbs the seeded emulations;
+* records both wall clocks and the speedup into ``BENCH_sweep.json``.
+
+The artifact carries ``cpu_count`` so the speedup is interpretable: on a
+single-core container the pool cannot beat the serial runner no matter how
+many workers it gets, and the honest number to expect there is ~1.0x (or
+slightly below, for the spawn overhead). On an N-core machine the expected
+speedup approaches ``min(workers, N)`` for grids whose runs dominate the
+pool start-up cost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from .config import ExperimentConfig
+from .store import RunStore, canonical_json
+from .sweep import SweepReport, expand_grid, run_sweep
+
+#: Default grid axes: four policies × two seeds = 8 runs.
+DEFAULT_POLICIES = ("epidemic", "spray", "prophet", "maxprop")
+DEFAULT_SEEDS = (0, 1)
+
+
+@dataclass(frozen=True)
+class SweepBenchConfig:
+    """Shape of the benchmark grid."""
+
+    scale: float = 0.5
+    workers: int = 4
+    policies: tuple = DEFAULT_POLICIES
+    seeds: tuple = DEFAULT_SEEDS
+
+    def __post_init__(self) -> None:
+        if self.workers < 2:
+            raise ValueError("bench sweep needs workers >= 2")
+        if len(self.policies) * len(self.seeds) < 2:
+            raise ValueError("bench sweep needs a grid of at least 2 runs")
+
+    def grid(self) -> List[ExperimentConfig]:
+        base = ExperimentConfig(scale=self.scale)
+        return expand_grid(
+            base, policies=list(self.policies), seeds=list(self.seeds)
+        )
+
+
+def _per_run_rows(report: SweepReport) -> List[dict]:
+    return [
+        {
+            "run_id": outcome.run_id,
+            "label": outcome.label,
+            "wall_clock_s": round(outcome.wall_clock_s, 4),
+        }
+        for outcome in report.outcomes
+    ]
+
+
+def run_sweep_bench(config: SweepBenchConfig = SweepBenchConfig()) -> dict:
+    """Run the grid serially then in parallel and build the report dict."""
+    grid = config.grid()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as scratch:
+        serial_store = RunStore(pathlib.Path(scratch) / "serial")
+        parallel_store = RunStore(pathlib.Path(scratch) / "parallel")
+        serial = run_sweep(grid, store=serial_store, workers=1, resume=False)
+        parallel = run_sweep(
+            grid, store=parallel_store, workers=config.workers, resume=False
+        )
+        mismatched: List[str] = []
+        for run_id in serial_store.list_run_ids():
+            serial_result = serial_store.load_artifact(run_id)["result"]
+            parallel_result = parallel_store.load_artifact(run_id)["result"]
+            if canonical_json(serial_result) != canonical_json(parallel_result):
+                mismatched.append(run_id)
+    speedup = (
+        serial.wall_clock_s / parallel.wall_clock_s
+        if parallel.wall_clock_s
+        else float("inf")
+    )
+    return {
+        "benchmark": "sweep",
+        "config": {
+            "scale": config.scale,
+            "workers": config.workers,
+            "policies": list(config.policies),
+            "seeds": list(config.seeds),
+            "runs": len(grid),
+        },
+        "cpu_count": os.cpu_count(),
+        "serial": {
+            "wall_clock_s": round(serial.wall_clock_s, 4),
+            "completed": serial.completed,
+            "failed": serial.failed,
+            "per_run": _per_run_rows(serial),
+        },
+        "parallel": {
+            "wall_clock_s": round(parallel.wall_clock_s, 4),
+            "completed": parallel.completed,
+            "failed": parallel.failed,
+            "per_run": _per_run_rows(parallel),
+        },
+        "speedup_wall_clock": round(speedup, 2),
+        "equivalence": {
+            "runs_compared": len(grid),
+            "byte_identical_results": not mismatched,
+            "mismatched_run_ids": mismatched,
+        },
+    }
+
+
+def write_sweep_bench(
+    report: dict, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Persist a :func:`run_sweep_bench` report as ``BENCH_sweep.json``."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return target

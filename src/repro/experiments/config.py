@@ -16,9 +16,10 @@ the default scale used by the figure harnesses.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional
 
+from repro._compat import keyword_only_dataclass
 from repro.faults import FaultConfig
 
 #: Default scale used by the figure benchmarks; override with REPRO_SCALE.
@@ -36,9 +37,17 @@ def configured_scale() -> float:
     return value
 
 
+@keyword_only_dataclass
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Full description of one emulation run."""
+    """Full description of one emulation run.
+
+    Construct with keyword arguments only (positional form is deprecated
+    and warns). Configs round-trip through :meth:`to_dict` /
+    :meth:`from_dict`, which is what lets sweep workers rebuild scenarios
+    from serialized configs and lets the artifact store content-address
+    runs by config digest.
+    """
 
     # Scenario shape (scaled by ``scale``; 1.0 = the paper's numbers).
     scale: float = 1.0
@@ -148,4 +157,39 @@ class ExperimentConfig:
             parts.append(f"store={self.storage_limit}")
         if self.faults is not None and self.faults.enabled:
             parts.append("faults")
+        if self.trace_seed != 42:
+            parts.append(f"seed={self.trace_seed}")
         return " ".join(parts)
+
+    # -- serialization (the repro.api round-trip contract) ------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict; ``from_dict(to_dict())`` reconstructs exactly.
+
+        ``policy_parameters`` values must themselves be JSON-safe (they
+        always are for the registered policies — Table II knobs are ints
+        and floats). ``faults`` nests a :meth:`FaultConfig.to_dict` block
+        or ``None``.
+        """
+        data: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "policy_parameters":
+                value = dict(value)
+            elif spec.name == "faults":
+                value = value.to_dict() if value is not None else None
+            data[spec.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        """Rebuild a config serialized by :meth:`to_dict`.
+
+        Unknown keys raise :class:`TypeError` naming the offending field,
+        so configs from a newer schema fail loudly.
+        """
+        payload = dict(data)
+        faults = payload.get("faults")
+        if isinstance(faults, Mapping):
+            payload["faults"] = FaultConfig.from_dict(faults)
+        return cls(**payload)

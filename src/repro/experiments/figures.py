@@ -61,10 +61,35 @@ class SharedScenarioInputs:
 
 
 class _ResultCache:
-    """Process-wide memo of experiment runs keyed by config identity."""
+    """Process-wide memo of experiment runs keyed by config identity.
+
+    With a :class:`~repro.experiments.store.RunStore` attached (the
+    ``repro figure --results-dir`` path, and how figures share runs with
+    ``repro sweep``), the cache reads completed runs back from their JSON
+    artifacts instead of holding only live objects, and persists fresh
+    runs as artifacts. A stored run is only reused when its trace summary
+    matches the inputs' trace — configs don't describe externally supplied
+    traces, so the summary check keeps a custom-trace session from
+    aliasing a synthetic-trace artifact.
+    """
 
     def __init__(self) -> None:
         self._results: Dict[Tuple, ExperimentResult] = {}
+        self._store = None
+
+    def attach_store(self, store) -> None:
+        """Back the cache with an artifact store (None detaches)."""
+        self._store = store
+
+    def _from_store(
+        self, config: ExperimentConfig, inputs: SharedScenarioInputs
+    ) -> Optional[ExperimentResult]:
+        if self._store is None or not self._store.has(config):
+            return None
+        result = self._store.load_result(config)
+        if result.trace_summary != inputs.trace.summary():
+            return None
+        return result
 
     def run(
         self, config: ExperimentConfig, inputs: SharedScenarioInputs
@@ -80,9 +105,15 @@ class _ResultCache:
             config.storage_limit,
         )
         if key not in self._results:
-            self._results[key] = run_experiment(
-                config, trace=inputs.trace, model=inputs.model
-            )
+            stored = self._from_store(config, inputs)
+            if stored is not None:
+                self._results[key] = stored
+            else:
+                self._results[key] = run_experiment(
+                    config, trace=inputs.trace, model=inputs.model
+                )
+                if self._store is not None:
+                    self._store.save_result(self._results[key])
         return self._results[key]
 
     def clear(self) -> None:

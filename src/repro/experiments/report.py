@@ -1,10 +1,17 @@
-"""Text rendering of figure/table data in paper-style rows."""
+"""Text rendering of figure/table data in paper-style rows.
+
+Renderers take either structured data from the figure harnesses or a
+:class:`~repro.experiments.store.RunStore` — reports over a completed
+sweep are built from the JSON artifacts on disk, not from live metric
+objects, so they can be regenerated at any time without re-running a
+single emulation.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .tables import TABLE_I, TABLE_II
+from .tables import TABLE_I, TABLE_II, measured_policy_table
 
 
 def render_series_table(
@@ -94,6 +101,54 @@ def render_table_2() -> str:
     for policy, parameters in TABLE_II.items():
         rendered = ", ".join(f"{k}={v}" for k, v in parameters.items())
         lines.append(f"  {policy:>10}: {rendered}")
+    return "\n".join(lines)
+
+
+def render_store_summary(store, label_filter: Optional[str] = None) -> str:
+    """Headline metrics for every run artifact in a store, side by side.
+
+    Reads the content-addressed artifacts (see ``docs/sweeps.md``), so a
+    finished — or interrupted — sweep can be summarized without holding
+    any live experiment state.
+    """
+    summaries: Dict[str, Mapping[str, float]] = {}
+    for run_id in store.list_run_ids():
+        artifact = store.load_artifact(run_id)
+        label = artifact["label"]
+        if label_filter and label_filter.lower() not in label.lower():
+            continue
+        name = label if label not in summaries else run_id
+        summaries[name] = store.load_result(run_id).summary()
+    if not summaries:
+        return "(no run artifacts)"
+    return render_summary_rows(summaries)
+
+
+def render_measured_table(store) -> str:
+    """Per-policy measured means over every stored replicate.
+
+    The artifact-store counterpart of Table II: what the runs *measured*,
+    aggregated per policy across seeds and constraint settings.
+    """
+    rows = measured_policy_table(store)
+    if not rows:
+        return "(no run artifacts)"
+    header = (
+        f"{'policy':>12} | {'runs':>5} | {'delivery':>9} | "
+        f"{'mean delay (h)':>14} | {'transmissions':>13}"
+    )
+    lines = [
+        "Measured per-policy means (over stored run artifacts)",
+        header,
+        "-" * len(header),
+    ]
+    for policy, row in rows.items():
+        lines.append(
+            f"{policy:>12} | {row['runs']:>5.0f} | "
+            f"{row['delivery_ratio']:>9.2f} | "
+            f"{row['mean_delay_hours']:>14.2f} | "
+            f"{row['transmissions']:>13.0f}"
+        )
     return "\n".join(lines)
 
 

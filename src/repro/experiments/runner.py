@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.emulation.encounters import EncounterTrace
 from repro.emulation.metrics import HOURS, MetricsCollector
@@ -39,6 +39,28 @@ class ExperimentResult:
 
     def summary(self) -> Dict[str, float]:
         return self.metrics.summary()
+
+    # -- serialization (the repro.api round-trip contract) ------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict; ``from_dict(to_dict())`` reconstructs exactly.
+
+        This is the payload the sweep engine ships from worker processes
+        to the parent and the body of every run artifact in the store.
+        """
+        return {
+            "config": self.config.to_dict(),
+            "metrics": self.metrics.to_dict(),
+            "trace_summary": dict(self.trace_summary),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        return cls(
+            config=ExperimentConfig.from_dict(data["config"]),
+            metrics=MetricsCollector.from_dict(data["metrics"]),
+            trace_summary=dict(data["trace_summary"]),
+        )
 
 
 def run_experiment(

@@ -33,7 +33,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.dtn.registry import create_policy
+from repro.dtn.registry import get_policy
 from repro.emulation.encounters import EncounterTrace
 from repro.emulation.network import Emulator, Injection
 from repro.emulation.node import EmulatedNode
@@ -164,7 +164,10 @@ def build_scenario(
             )
         nodes[host] = EmulatedNode(
             name=host,
-            policy=create_policy(config.policy, **config.policy_parameters),
+            # The registry is the single supported construction path —
+            # direct policy-class instantiation here would skip the
+            # Table II defaults.
+            policy=get_policy(config.policy, **config.policy_parameters),
             relay_capacity=config.storage_limit,
             relay_eviction=config.eviction_strategy,
             static_relay_addresses=relay,

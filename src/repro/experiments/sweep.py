@@ -1,0 +1,398 @@
+"""Process-parallel experiment sweeps over config grids.
+
+The paper's evaluation is a grid — {policy × bandwidth cap × storage cap ×
+seed} over the same DieselNet×Enron scenario — and every cell is an
+independent, fully seeded emulation. This module turns that independence
+into throughput:
+
+* :func:`expand_grid` expands a base config and axis values into the list
+  of :class:`~repro.experiments.config.ExperimentConfig` cells;
+* :func:`run_sweep` fans the cells out to a ``spawn`` worker pool. Workers
+  never receive live replicas or emulators — only ``config.to_dict()``
+  payloads — and rebuild the scenario on their side, so the engine is
+  safe under every multiprocessing start method and never pays pickling
+  costs proportional to simulation state;
+* each completed run is written (atomically, by the parent, which is the
+  store's single writer) into a content-addressed
+  :class:`~repro.experiments.store.RunStore` together with a sweep
+  manifest, so an interrupted sweep resumes by skipping runs whose
+  artifacts already exist and validate;
+* per-run lifecycle and sync-counter telemetry stream back to the parent
+  as runs start and finish — a progress callback sees every event.
+
+Because every run is deterministic from its config, a parallel sweep's
+artifacts are byte-identical to a serial sweep's (``repro bench sweep``
+asserts exactly that, and records the wall-clock speedup).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .config import ExperimentConfig
+from .runner import ExperimentResult, run_experiment
+from .store import RunStore, run_id_for, sweep_id_for
+
+#: Summary counters streamed back to the parent as each run finishes.
+TELEMETRY_KEYS: Tuple[str, ...] = (
+    "injected",
+    "delivered",
+    "delivery_ratio",
+    "syncs",
+    "encounters",
+    "transmissions",
+)
+
+#: Progress callback: receives one :class:`SweepEvent` per lifecycle step.
+ProgressCallback = Callable[["SweepEvent"], None]
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One lifecycle event of one run inside a sweep.
+
+    ``kind`` is ``"reused"`` (a valid artifact already existed),
+    ``"started"``, ``"finished"``, or ``"failed"``. ``completed`` counts
+    runs that have reached a terminal state so far, out of ``total``.
+    Events for parallel runs may be delivered from a helper thread;
+    callbacks should be cheap and thread-safe (printing is fine).
+    """
+
+    kind: str
+    run_id: str
+    label: str
+    completed: int
+    total: int
+    telemetry: Optional[Dict[str, float]] = None
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Terminal state of one grid cell after a sweep."""
+
+    run_id: str
+    label: str
+    status: str  # "completed" | "reused" | "failed"
+    wall_clock_s: float
+    summary: Optional[Dict[str, float]] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class SweepReport:
+    """What :func:`run_sweep` returns: the sweep identity plus outcomes."""
+
+    sweep_id: str
+    store_root: str
+    workers: int
+    wall_clock_s: float
+    outcomes: List[RunOutcome] = field(default_factory=list)
+
+    def _count(self, status: str) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == status)
+
+    @property
+    def completed(self) -> int:
+        return self._count("completed")
+
+    @property
+    def reused(self) -> int:
+        return self._count("reused")
+
+    @property
+    def failed(self) -> int:
+        return self._count("failed")
+
+
+def seeded(config: ExperimentConfig, seed: int) -> ExperimentConfig:
+    """The ``seed``-th replicate of ``config``.
+
+    Offsets every determinism knob by ``seed`` so replicates draw
+    independent traces, assignments, workloads, encounter orders, and
+    fault schedules while staying fully reproducible. ``seed=0`` is
+    ``config`` itself.
+    """
+    if seed == 0:
+        return config
+    return replace(
+        config,
+        trace_seed=config.trace_seed + seed,
+        assignment_seed=config.assignment_seed + seed,
+        workload_seed=config.workload_seed + seed,
+        encounter_order_seed=config.encounter_order_seed + seed,
+        email_seed=config.email_seed + seed,
+        fault_seed=config.fault_seed + seed,
+    )
+
+
+def expand_grid(
+    base: ExperimentConfig,
+    policies: Sequence[str] = (),
+    bandwidth_limits: Sequence[Optional[int]] = (),
+    storage_limits: Sequence[Optional[int]] = (),
+    seeds: Sequence[int] = (),
+) -> List[ExperimentConfig]:
+    """Expand axis values into the full config grid.
+
+    Empty axes keep the base config's value, so
+    ``expand_grid(base, policies=["epidemic", "spray"], seeds=[0, 1])`` is
+    a 2×2 grid. Duplicate cells (identical configs) are dropped — they
+    would content-address to the same artifact anyway.
+    """
+    cells: List[ExperimentConfig] = []
+    seen = set()
+    for policy in policies or (base.policy,):
+        for bandwidth in bandwidth_limits or (base.bandwidth_limit,):
+            for storage in storage_limits or (base.storage_limit,):
+                for seed in seeds or (0,):
+                    config = seeded(
+                        replace(
+                            base,
+                            policy=policy,
+                            bandwidth_limit=bandwidth,
+                            storage_limit=storage,
+                        ),
+                        seed,
+                    )
+                    run_id = run_id_for(config)
+                    if run_id in seen:
+                        continue
+                    seen.add(run_id)
+                    cells.append(config)
+    return cells
+
+
+def filter_by_label(
+    configs: Iterable[ExperimentConfig], needle: str
+) -> List[ExperimentConfig]:
+    """Keep configs whose label contains ``needle`` (case-insensitive)."""
+    lowered = needle.lower()
+    return [
+        config for config in configs if lowered in config.label().lower()
+    ]
+
+
+# -- worker side ----------------------------------------------------------------------
+#
+# Everything below the parent hands to the pool must be importable at
+# module top level: ``spawn`` workers re-import this module and receive
+# only picklable payloads (config dicts), never live simulation state.
+
+_PROGRESS_QUEUE: Optional[Any] = None
+
+
+def _init_worker(queue: Optional[Any]) -> None:
+    global _PROGRESS_QUEUE
+    _PROGRESS_QUEUE = queue
+
+
+def _execute(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell from its serialized config; never raises.
+
+    Returns ``{"run_id", "wall_clock_s", "result"}`` on success or
+    ``{"run_id", "wall_clock_s", "error"}`` with a formatted traceback on
+    failure, so one broken cell fails its artifact, not the sweep.
+    """
+    run_id = payload["run_id"]
+    started = time.perf_counter()
+    try:
+        config = ExperimentConfig.from_dict(payload["config"])
+        result = run_experiment(config, extra_days=payload["extra_days"])
+        summary = result.summary()
+        telemetry = {key: summary[key] for key in TELEMETRY_KEYS}
+        return {
+            "run_id": run_id,
+            "wall_clock_s": time.perf_counter() - started,
+            "result": result.to_dict(),
+            "telemetry": telemetry,
+        }
+    except Exception:
+        return {
+            "run_id": run_id,
+            "wall_clock_s": time.perf_counter() - started,
+            "error": traceback.format_exc(),
+        }
+
+
+def _pool_run(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool target: wraps :func:`_execute` with started-event streaming."""
+    if _PROGRESS_QUEUE is not None:
+        _PROGRESS_QUEUE.put(("started", payload["run_id"], payload["label"]))
+    return _execute(payload)
+
+
+# -- parent side ----------------------------------------------------------------------
+
+
+def run_sweep(
+    configs: Sequence[ExperimentConfig],
+    store: Optional[RunStore] = None,
+    workers: int = 1,
+    resume: bool = True,
+    progress: Optional[ProgressCallback] = None,
+    extra_days: int = 0,
+) -> SweepReport:
+    """Run every config, parallel across processes, into the store.
+
+    * ``workers <= 1`` runs serially in-process (identical artifacts —
+      runs are deterministic from their configs).
+    * ``resume=True`` (default) skips configs whose artifacts already
+      exist in the store and validate; ``False`` re-runs and overwrites.
+    * ``progress`` receives a :class:`SweepEvent` per lifecycle step.
+
+    The sweep manifest is written before any run starts, so a killed
+    sweep leaves behind both the plan and the completed artifacts —
+    everything resume needs.
+    """
+    store = store if store is not None else RunStore()
+    run_ids = [run_id_for(config) for config in configs]
+    if len(set(run_ids)) != len(run_ids):
+        raise ValueError("sweep grid contains duplicate configs")
+    report = SweepReport(
+        sweep_id=sweep_id_for(run_ids),
+        store_root=str(store.root),
+        workers=workers,
+        wall_clock_s=0.0,
+    )
+    started = time.perf_counter()
+    store.write_manifest(configs, workers=workers)
+
+    total = len(configs)
+    terminal = 0
+
+    def emit(kind: str, run_id: str, label: str, **extra: Any) -> None:
+        if progress is not None:
+            progress(
+                SweepEvent(
+                    kind=kind,
+                    run_id=run_id,
+                    label=label,
+                    completed=terminal,
+                    total=total,
+                    **extra,
+                )
+            )
+
+    pending: List[Dict[str, Any]] = []
+    for config, run_id in zip(configs, run_ids):
+        if resume and store.has(config):
+            terminal += 1
+            summary = store.load_result(run_id).summary()
+            report.outcomes.append(
+                RunOutcome(
+                    run_id=run_id,
+                    label=config.label(),
+                    status="reused",
+                    wall_clock_s=0.0,
+                    summary=summary,
+                )
+            )
+            emit("reused", run_id, config.label())
+        else:
+            pending.append(
+                {
+                    "run_id": run_id,
+                    "label": config.label(),
+                    "config": config.to_dict(),
+                    "extra_days": extra_days,
+                }
+            )
+
+    def settle(payload: Dict[str, Any], outcome_raw: Dict[str, Any]) -> None:
+        """Parent-side completion: write the artifact, record the outcome."""
+        nonlocal terminal
+        terminal += 1
+        run_id = payload["run_id"]
+        label = payload["label"]
+        if "error" in outcome_raw:
+            report.outcomes.append(
+                RunOutcome(
+                    run_id=run_id,
+                    label=label,
+                    status="failed",
+                    wall_clock_s=outcome_raw["wall_clock_s"],
+                    error=outcome_raw["error"],
+                )
+            )
+            emit("failed", run_id, label, error=outcome_raw["error"])
+            return
+        result = ExperimentResult.from_dict(outcome_raw["result"])
+        store.save_result(result, wall_clock_s=outcome_raw["wall_clock_s"])
+        report.outcomes.append(
+            RunOutcome(
+                run_id=run_id,
+                label=label,
+                status="completed",
+                wall_clock_s=outcome_raw["wall_clock_s"],
+                summary=result.summary(),
+            )
+        )
+        emit(
+            "finished", run_id, label, telemetry=outcome_raw["telemetry"]
+        )
+
+    if len(pending) <= 1 or workers <= 1:
+        for payload in pending:
+            emit("started", payload["run_id"], payload["label"])
+            settle(payload, _execute(payload))
+    else:
+        _run_parallel(pending, min(workers, len(pending)), emit, settle)
+
+    # Outcomes in grid order, matching ``configs`` — parallel completion
+    # order is nondeterministic and should not leak into the report.
+    order = {run_id: index for index, run_id in enumerate(run_ids)}
+    report.outcomes.sort(key=lambda outcome: order[outcome.run_id])
+    report.wall_clock_s = time.perf_counter() - started
+    return report
+
+
+def _run_parallel(
+    pending: List[Dict[str, Any]],
+    workers: int,
+    emit: Callable[..., None],
+    settle: Callable[[Dict[str, Any], Dict[str, Any]], None],
+) -> None:
+    """Fan ``pending`` out to a spawn pool, streaming progress events.
+
+    ``spawn`` (not ``fork``) keeps workers honest: they prove the runs are
+    reconstructible from serialized configs alone, and it sidesteps
+    fork-safety hazards entirely.
+    """
+    by_run_id = {payload["run_id"]: payload for payload in pending}
+    ctx = multiprocessing.get_context("spawn")
+    queue = ctx.Queue()
+    sentinel = ("done", None, None)
+
+    def drain() -> None:
+        while True:
+            kind, run_id, label = queue.get()
+            if kind == "done":
+                return
+            emit(kind, run_id, label)
+
+    drainer = threading.Thread(target=drain, daemon=True)
+    drainer.start()
+    try:
+        with ctx.Pool(
+            processes=workers, initializer=_init_worker, initargs=(queue,)
+        ) as pool:
+            for outcome_raw in pool.imap_unordered(_pool_run, pending):
+                settle(by_run_id[outcome_raw["run_id"]], outcome_raw)
+    finally:
+        queue.put(sentinel)
+        drainer.join(timeout=5.0)

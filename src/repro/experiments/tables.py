@@ -8,10 +8,14 @@
 * **Table II** — the protocol parameters used in the evaluation, re-exported
   from the policy registry (which is the single source of truth — the
   registry instantiates policies with exactly these values).
+* **Measured tables** — :func:`measured_policy_table` aggregates stored
+  run artifacts per policy, the data behind
+  :func:`repro.experiments.report.render_measured_table`.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -71,3 +75,44 @@ TABLE_II_PAPER_VALUES: Dict[str, Dict[str, object]] = {
     "prophet": {"p_init": 0.75, "beta": 0.25, "gamma": 0.98},
     "maxprop": {"hop_threshold": 3},
 }
+
+#: Metrics aggregated by :func:`measured_policy_table`.
+MEASURED_METRICS: Tuple[str, ...] = (
+    "delivery_ratio",
+    "mean_delay_hours",
+    "within_12h",
+    "transmissions",
+)
+
+
+def measured_policy_table(store) -> Dict[str, Dict[str, float]]:
+    """Per-policy metric means over every artifact in a run store.
+
+    Reads completed runs back from their JSON artifacts (not live metric
+    objects) and averages :data:`MEASURED_METRICS` per policy, across
+    seeds and constraint settings; NaN metrics (e.g. mean delay with zero
+    deliveries) are skipped per-metric. Returns
+    ``{policy: {"runs": n, metric: mean, ...}}`` with policies sorted.
+    """
+    accumulated: Dict[str, Dict[str, list]] = {}
+    counts: Dict[str, int] = {}
+    for run_id in store.list_run_ids():
+        result = store.load_result(run_id)
+        policy = result.config.policy
+        counts[policy] = counts.get(policy, 0) + 1
+        summary = result.summary()
+        bucket = accumulated.setdefault(policy, {})
+        for metric in MEASURED_METRICS:
+            value = summary[metric]
+            if not math.isnan(value):
+                bucket.setdefault(metric, []).append(value)
+    table: Dict[str, Dict[str, float]] = {}
+    for policy in sorted(counts):
+        row: Dict[str, float] = {"runs": float(counts[policy])}
+        for metric in MEASURED_METRICS:
+            values = accumulated[policy].get(metric, [])
+            row[metric] = (
+                sum(values) / len(values) if values else float("nan")
+            )
+        table[policy] = row
+    return table

@@ -15,13 +15,16 @@ enforced by ``tests/integration/test_zero_fault_equivalence.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro._compat import keyword_only_dataclass
 
 #: Truncation budgets may be expressed in batch entries or in wire bytes.
 TRUNCATION_UNITS = ("items", "bytes")
 
 
+@keyword_only_dataclass
 @dataclass(frozen=True)
 class FaultConfig:
     """Knobs for every fault model plus the retry/backoff policy.
@@ -103,3 +106,19 @@ class FaultConfig:
     def has_transport_faults(self) -> bool:
         """True when per-batch (truncation/duplication) faults are armed."""
         return self.truncation_probability > 0.0 or self.duplication_probability > 0.0
+
+    # -- serialization (the repro.api round-trip contract) ------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict; ``from_dict(to_dict())`` reconstructs exactly."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultConfig":
+        """Rebuild a config serialized by :meth:`to_dict`.
+
+        Unknown keys raise :class:`TypeError` naming the offending field
+        (via the keyword-only constructor), so a stale artifact fails
+        loudly instead of silently dropping a knob.
+        """
+        return cls(**dict(data))

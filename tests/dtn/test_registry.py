@@ -11,6 +11,7 @@ from repro.dtn import (
     available_policies,
     create_policy,
     default_parameters,
+    get_policy,
     register_policy,
 )
 from repro.dtn.registry import PAPER_POLICY_ORDER, TABLE_II_PARAMETERS
@@ -30,14 +31,26 @@ class TestLookup:
         ],
     )
     def test_create_by_name(self, name, expected_type):
-        assert isinstance(create_policy(name), expected_type)
+        assert isinstance(get_policy(name), expected_type)
 
-    def test_unknown_name_raises_with_suggestions(self):
-        with pytest.raises(KeyError, match="available"):
-            create_policy("carrier-pigeon")
+    def test_unknown_name_raises_listing_registered_policies(self):
+        with pytest.raises(KeyError, match="registered policies"):
+            get_policy("carrier-pigeon")
+        with pytest.raises(KeyError, match="epidemic"):
+            get_policy("carrier-pigeon")
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(get_policy("Epidemic"), EpidemicPolicy)
+        assert isinstance(get_policy("MAXPROP"), MaxPropPolicy)
 
     def test_each_call_returns_fresh_instance(self):
-        assert create_policy("epidemic") is not create_policy("epidemic")
+        assert get_policy("epidemic") is not get_policy("epidemic")
+
+    def test_create_policy_is_a_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning, match="get_policy"):
+            policy = create_policy("epidemic", initial_ttl=3)
+        assert isinstance(policy, EpidemicPolicy)
+        assert policy.initial_ttl == 3
 
     def test_available_policies_sorted(self):
         names = available_policies()
@@ -47,20 +60,20 @@ class TestLookup:
 
 class TestTableIIDefaults:
     def test_epidemic_ttl(self):
-        assert create_policy("epidemic").initial_ttl == 10
+        assert get_policy("epidemic").initial_ttl == 10
 
     def test_spray_copies(self):
-        assert create_policy("spray").initial_copies == 8
+        assert get_policy("spray").initial_copies == 8
 
     def test_prophet_parameters(self):
-        policy = create_policy("prophet")
+        policy = get_policy("prophet")
         assert (policy.p_init, policy.beta, policy.gamma) == (0.75, 0.25, 0.98)
 
     def test_maxprop_threshold(self):
-        assert create_policy("maxprop").hop_threshold == 3
+        assert get_policy("maxprop").hop_threshold == 3
 
     def test_overrides_win(self):
-        assert create_policy("epidemic", initial_ttl=3).initial_ttl == 3
+        assert get_policy("epidemic", initial_ttl=3).initial_ttl == 3
 
     def test_default_parameters_exposed(self):
         assert default_parameters("spray") == {"initial_copies": 8}
@@ -91,7 +104,7 @@ class TestExtension:
 
         register_policy("custom-test", Custom)
         try:
-            assert isinstance(create_policy("custom-test"), Custom)
+            assert isinstance(get_policy("custom-test"), Custom)
         finally:
             # Leave the shared registry as we found it.
             import repro.dtn.registry as registry_module

@@ -82,3 +82,29 @@ class TestEnvScale:
         monkeypatch.setenv("REPRO_SCALE", "2.0")
         with pytest.raises(ValueError):
             configured_scale()
+
+
+class TestKeywordOnlyConstruction:
+    def test_positional_args_warn_then_work(self):
+        with pytest.warns(DeprecationWarning, match="keyword"):
+            config = ExperimentConfig(0.5)
+        assert config.scale == 0.5
+
+    def test_positional_and_keyword_collision(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                ExperimentConfig(0.5, scale=0.25)
+
+    def test_unknown_field_error_names_field_and_lists_valid(self):
+        with pytest.raises(TypeError) as excinfo:
+            ExperimentConfig(scale=0.5, bandwith_limit=3)
+        message = str(excinfo.value)
+        assert "bandwith_limit" in message
+        assert "bandwidth_limit" in message  # valid fields are listed
+
+    def test_keyword_construction_is_warning_free(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ExperimentConfig(scale=0.5, policy="maxprop")
