@@ -30,6 +30,8 @@ Groups:
   :func:`available_policies`, :func:`default_parameters`,
   :data:`PAPER_POLICY_ORDER`.
 * **Faults** — :class:`FaultConfig`.
+* **Integrity** — :class:`ProtocolViolation`, :class:`PeerHealthTracker`
+  (the hardened-sync layer; see ``docs/protocol.md`` §7).
 """
 
 from __future__ import annotations
@@ -59,6 +61,8 @@ from repro.experiments.sweep import (
     run_sweep,
 )
 from repro.faults.config import FaultConfig
+from repro.replication.integrity import ProtocolViolation
+from repro.replication.peer_health import PeerHealthTracker
 
 __all__ = [
     "ExperimentConfig",
@@ -67,6 +71,8 @@ __all__ = [
     "MessageRecord",
     "MetricsCollector",
     "PAPER_POLICY_ORDER",
+    "PeerHealthTracker",
+    "ProtocolViolation",
     "RunOutcome",
     "RunStore",
     "StoreError",

@@ -8,11 +8,14 @@ Usage (installed as ``python -m repro``):
                         [--filter-strategy random|selected --filter-k K]
                         [--fault-drop P] [--fault-truncation P]
                         [--fault-duplication P] [--fault-crash P]
-                        [--fault-seed N]
+                        [--fault-corruption P] [--fault-replay P]
+                        [--fault-fabrication P] [--fault-malformed P]
+                        [--fault-seed N] [--json PATH]
     python -m repro sweep [--policies P ...] [--seeds N ...]
                           [--bandwidth-limits N|none ...]
                           [--storage-limits N|none ...]
                           [--scale S] [--workers N] [--no-resume]
+                          [--timeout SECONDS]
                           [--filter LABEL] [--results-dir DIR]
     python -m repro figure {5,6,7,8,9,10,all} [--scale S]
                            [--results-dir DIR]
@@ -32,6 +35,7 @@ a JSON artifact in the content-addressed store (see ``docs/sweeps.md``).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pathlib
 import sys
@@ -119,8 +123,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="probability an encounter participant crash-restarts",
     )
     faults.add_argument(
+        "--fault-corruption", type=float, default=0.0, metavar="P",
+        help="probability a delivered entry's payload is corrupted",
+    )
+    faults.add_argument(
+        "--fault-replay", type=float, default=0.0, metavar="P",
+        help="probability a sync session replays earlier frames",
+    )
+    faults.add_argument(
+        "--fault-fabrication", type=float, default=0.0, metavar="P",
+        help="probability a sync request's knowledge is inflated in transit",
+    )
+    faults.add_argument(
+        "--fault-malformed", type=float, default=0.0, metavar="P",
+        help="probability a delivered entry becomes an undecodable frame",
+    )
+    faults.add_argument(
         "--fault-seed", type=int, default=23,
         help="seed for the fault injector's RNG (default 23)",
+    )
+    run.add_argument(
+        "--json", type=pathlib.Path, default=None, metavar="PATH",
+        help="also write the run summary (and fault counters, when armed) "
+             "as a JSON document",
     )
 
     sweep = subparsers.add_parser(
@@ -152,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--no-resume", action="store_true",
         help="re-run cells whose artifacts already exist (overwrites them)",
+    )
+    sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget; overdue workers are killed and "
+             "the run is recorded as failed (retried on resume)",
     )
     sweep.add_argument(
         "--filter", default=None, metavar="LABEL",
@@ -266,6 +296,11 @@ FAULT_COUNTER_KEYS = (
     "crashes",
     "lost_transmissions",
     "redundant_transmissions",
+    "quarantined_entries",
+    "rejected_knowledge",
+    "quarantine_skips",
+    "protocol_violations",
+    "peer_health_transitions",
 )
 
 
@@ -275,6 +310,10 @@ def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
         "truncation_probability": args.fault_truncation,
         "duplication_probability": args.fault_duplication,
         "crash_probability": args.fault_crash,
+        "corruption_probability": args.fault_corruption,
+        "replay_probability": args.fault_replay,
+        "fabrication_probability": args.fault_fabrication,
+        "malformed_probability": args.fault_malformed,
     }
     if all(value == 0.0 for value in knobs.values()):
         return None
@@ -307,6 +346,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"fault counters (fault seed {config.fault_seed}):")
         for key in FAULT_COUNTER_KEYS:
             print(f"{key:>24} | {summary[key]:>11.0f}")
+    if args.json is not None:
+        document = {
+            "label": config.label(),
+            "scale": config.scale,
+            "fault_seed": config.fault_seed if faults is not None else None,
+            "summary": summary,
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote summary to {args.json}")
     return 0
 
 
@@ -367,14 +419,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
     store = RunStore(args.results_dir)
-    report = run_sweep(
-        grid,
-        store=store,
-        workers=workers,
-        resume=not args.no_resume,
-        progress=_print_sweep_event,
-        extra_days=args.extra_days,
-    )
+    try:
+        report = run_sweep(
+            grid,
+            store=store,
+            workers=workers,
+            resume=not args.no_resume,
+            progress=_print_sweep_event,
+            extra_days=args.extra_days,
+            timeout_s=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(
         f"sweep {report.sweep_id}: {len(report.outcomes)} runs — "
         f"{report.completed} completed, {report.reused} reused, "
@@ -384,8 +441,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     statuses = store.validate_manifest(report.sweep_id)
     ok = sum(1 for status in statuses.values() if status == "ok")
     missing = sum(1 for status in statuses.values() if status == "missing")
-    invalid = len(statuses) - ok - missing
-    print(f"manifest: {ok} ok, {missing} missing, {invalid} invalid")
+    failed = sum(1 for status in statuses.values() if status == "failed")
+    invalid = len(statuses) - ok - missing - failed
+    print(
+        f"manifest: {ok} ok, {missing} missing, {failed} failed, "
+        f"{invalid} invalid"
+    )
     for outcome in report.outcomes:
         if outcome.status == "failed":
             print(f"--- {outcome.run_id} failed ---", file=sys.stderr)
@@ -400,7 +461,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(render_store_summary(store, label_filter=args.filter))
         print()
         print(render_measured_table(store))
-    return 0 if report.failed == 0 and invalid == 0 and missing == 0 else 1
+    return (
+        0
+        if report.failed == 0
+        and invalid == 0
+        and missing == 0
+        and failed == 0
+        else 1
+    )
 
 
 def _emit(text: str, name: str, output_dir: Optional[pathlib.Path]) -> None:

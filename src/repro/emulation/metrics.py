@@ -106,6 +106,16 @@ class MetricsCollector:
     crashes: int = 0
     lost_transmissions: int = 0
     redundant_transmissions: int = 0
+    # Hardened-sync accounting (all zero in fault-free runs): entries the
+    # integrity checks quarantined at apply time, sync requests whose
+    # knowledge was rejected as fabricated, encounters skipped because a
+    # participant had quarantined its peer, protocol violations by kind,
+    # and peer-health state transitions by ``from->to`` label.
+    quarantined_entries: int = 0
+    rejected_knowledge: int = 0
+    quarantine_skips: int = 0
+    protocol_violations: Dict[str, int] = field(default_factory=dict)
+    peer_health_transitions: Dict[str, int] = field(default_factory=dict)
     # Sync hot-path accounting (the version-index optimisation): how many
     # stored items the sources held when batches were built (what a full
     # scan would visit), how many the version index actually enumerated,
@@ -164,6 +174,10 @@ class MetricsCollector:
         self.filter_cache_hits += stats.filter_cache_hits
         self.filter_cache_misses += stats.filter_cache_misses
         self.filter_cache_invalidations += stats.filter_cache_invalidations
+        self.quarantined_entries += stats.quarantined_entries
+        self.rejected_knowledge += stats.rejected_knowledge
+        for violation in stats.violations:
+            self.record_violation(violation.kind)
         if stats.interrupted:
             self.interrupted_syncs += 1
 
@@ -185,6 +199,20 @@ class MetricsCollector:
 
     def record_crash(self) -> None:
         self.crashes += 1
+
+    def record_quarantine_skip(self) -> None:
+        """An encounter refused because a side had quarantined its peer."""
+        self.quarantine_skips += 1
+
+    def record_violation(self, kind: str) -> None:
+        """One detected protocol violation, tallied by kind."""
+        self.protocol_violations[kind] = self.protocol_violations.get(kind, 0) + 1
+
+    def record_health_transition(self, label: str) -> None:
+        """One peer-health state transition (``"from->to"`` label)."""
+        self.peer_health_transitions[label] = (
+            self.peer_health_transitions.get(label, 0) + 1
+        )
 
     # -- aggregate views ----------------------------------------------------------------
 
@@ -313,8 +341,14 @@ class MetricsCollector:
             ],
         }
         for spec in fields(self):
-            if spec.name != "records":
-                data[spec.name] = getattr(self, spec.name)
+            if spec.name == "records":
+                continue
+            value = getattr(self, spec.name)
+            if isinstance(value, dict):
+                # Tally dicts are emitted key-sorted so the serialized
+                # form never depends on detection order.
+                value = {key: value[key] for key in sorted(value)}
+            data[spec.name] = value
         return data
 
     @classmethod
@@ -352,6 +386,15 @@ class MetricsCollector:
             "crashes": float(self.crashes),
             "lost_transmissions": float(self.lost_transmissions),
             "redundant_transmissions": float(self.redundant_transmissions),
+            "quarantined_entries": float(self.quarantined_entries),
+            "rejected_knowledge": float(self.rejected_knowledge),
+            "quarantine_skips": float(self.quarantine_skips),
+            "protocol_violations": float(
+                sum(self.protocol_violations.values())
+            ),
+            "peer_health_transitions": float(
+                sum(self.peer_health_transitions.values())
+            ),
             "store_items_at_sync": float(self.store_items_at_sync),
             "items_scanned": float(self.items_scanned),
             "index_skipped": float(self.index_skipped),

@@ -23,12 +23,15 @@ Everything is deterministic given the trace, the workload, and ``seed``
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.faults import FaultConfig, FaultInjector
+from repro.replication.errors import SyncProtocolError
 from repro.replication.events import BaseReplicaObserver
 from repro.replication.items import Item
+from repro.replication.peer_health import PeerHealthTracker
 from repro.replication.sync import perform_encounter
 
 from .encounters import SECONDS_PER_DAY, Encounter, EncounterTrace
@@ -88,10 +91,13 @@ class Emulator:
           performance effect, never a correctness one.
         * ``faults`` + ``fault_seed`` arm the :mod:`repro.faults`
           subsystem: encounter drops, mid-batch truncation, duplicated
-          delivery, and crash-restarts, with retry/backoff bookkeeping
-          for interrupted pairs. The injector draws from its *own* RNG
-          seeded by ``fault_seed``, so arming faults never perturbs the
-          base experiment's random draws.
+          delivery, crash-restarts, and the adversarial channel models
+          (payload corruption, malformed frames, frame replay, knowledge
+          fabrication), with retry/backoff bookkeeping for interrupted
+          pairs and per-peer health tracking (suspect/quarantine with
+          jittered backoff and recovery probes). The injector draws from
+          its *own* RNG seeded by ``fault_seed``, so arming faults never
+          perturbs the base experiment's random draws.
         """
         if not 0.0 <= sync_failure_probability <= 1.0:
             raise ValueError("sync_failure_probability must be in [0, 1]")
@@ -115,6 +121,27 @@ class Emulator:
             if faults is not None and faults.enabled
             else None
         )
+        #: Per-node peer-health trackers (observer name → tracker). Only
+        #: armed alongside the fault injector: with a perfect channel no
+        #: protocol violations can occur, and keeping the trackers out of
+        #: the zero-fault path preserves byte-identical behaviour.
+        self.peer_health: Dict[str, PeerHealthTracker] = {}
+        if self.fault_injector is not None:
+            assert faults is not None
+            for name in sorted(nodes):
+                self.peer_health[name] = PeerHealthTracker(
+                    suspect_threshold=faults.suspect_threshold,
+                    quarantine_threshold=faults.quarantine_threshold,
+                    backoff_base=faults.quarantine_backoff_base,
+                    backoff_factor=faults.quarantine_backoff_factor,
+                    backoff_max=faults.quarantine_backoff_max,
+                    jitter=faults.quarantine_jitter,
+                    recovery_probes=faults.recovery_probes,
+                    # Stable across Python processes (unlike hash()) and
+                    # decorrelated from the injector's stream.
+                    seed=zlib.crc32(name.encode("utf-8"))
+                    ^ (fault_seed & 0xFFFFFFFF),
+                )
 
         missing = self.trace.hosts - self.nodes.keys()
         if missing:
@@ -203,6 +230,9 @@ class Emulator:
             if not injector.encounter_allowed(encounter.a, encounter.b, now):
                 self.metrics.record_backoff_skip()
                 return
+            if not self._peers_willing(encounter.a, encounter.b, now):
+                self.metrics.record_quarantine_skip()
+                return
             if injector.should_drop_encounter():
                 self.failed_encounters += 1
                 self.metrics.record_dropped_encounter()
@@ -211,10 +241,21 @@ class Emulator:
         node_b = self.nodes[encounter.b]
         first, second = (node_a, node_b) if order else (node_b, node_a)
         transport_factory = (
-            (lambda source_id, target_id: injector.transport())
+            (
+                lambda source_id, target_id: injector.transport(
+                    source_id.name, target_id.name
+                )
+            )
             if injector is not None
             else None
         )
+        # Knowledge must be monotone across an encounter no matter what
+        # the channel did; a regression here means the hardening layer
+        # failed, and silently carrying on would poison the experiment.
+        before = {
+            name: self.nodes[name].replica.knowledge.copy()
+            for name in (encounter.a, encounter.b)
+        }
         stats = perform_encounter(
             first.endpoint,
             second.endpoint,
@@ -222,6 +263,11 @@ class Emulator:
             max_items_per_encounter=self._encounter_budget(encounter),
             transport_factory=transport_factory,
         )
+        for name, old in before.items():
+            if not self.nodes[name].replica.knowledge.dominates(old):
+                raise SyncProtocolError(
+                    f"version vector of {name!r} regressed during an encounter"
+                )
         self.metrics.record_encounter()
         if injector is not None:
             interrupted = any(sync_stats.interrupted for sync_stats in stats)
@@ -233,8 +279,49 @@ class Emulator:
         for sync_stats in stats:
             self.metrics.record_sync(sync_stats)
         if injector is not None:
+            self._record_peer_outcomes(encounter, stats, now)
             for victim in injector.crash_victims((encounter.a, encounter.b)):
                 self.restart_node(victim)
+
+    def _peers_willing(self, a: str, b: str, now: float) -> bool:
+        """Do both participants accept the encounter right now?
+
+        Both trackers are consulted without short-circuiting: ``allowed``
+        has the side effect of opening a recovery probe when a quarantine
+        backoff expires, and that bookkeeping must advance symmetrically
+        regardless of which side refuses.
+        """
+        if not self.peer_health:
+            return True
+        a_willing = self.peer_health[a].allowed(b, now)
+        b_willing = self.peer_health[b].allowed(a, now)
+        return a_willing and b_willing
+
+    def _record_peer_outcomes(self, encounter, stats, now: float) -> None:
+        """Feed each side's observed violations into its health tracker.
+
+        Both directions are seeded at zero strikes so a clean encounter
+        counts toward recovery even when no items flowed.
+        """
+        if not self.peer_health:
+            return
+        strikes: Dict[Tuple[str, str], int] = {
+            (encounter.a, encounter.b): 0,
+            (encounter.b, encounter.a): 0,
+        }
+        for sync_stats in stats:
+            for violation in sync_stats.violations:
+                key = (violation.observer, violation.peer)
+                strikes[key] = strikes.get(key, 0) + 1
+        for observer, peer in sorted(strikes):
+            tracker = self.peer_health.get(observer)
+            if tracker is None:
+                continue
+            transitions = tracker.record_outcome(
+                peer, strikes[(observer, peer)], now
+            )
+            for label in transitions:
+                self.metrics.record_health_transition(label)
 
     def restart_node(self, name: str) -> EmulatedNode:
         """Crash-restart one node and re-attach the emulator's plumbing.

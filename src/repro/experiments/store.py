@@ -92,6 +92,11 @@ class RunStore:
     def path_for(self, run_id: str) -> pathlib.Path:
         return self.root / f"{run_id}.json"
 
+    def failure_path_for(self, run_id: str) -> pathlib.Path:
+        """Sidecar recording that a run *failed* (timed out, crashed, or
+        raised) — distinct from a run that simply never executed."""
+        return self.root / f"{run_id}.failed.json"
+
     def manifest_path(self, sweep_id: str) -> pathlib.Path:
         return self.root / f"manifest-{sweep_id}.json"
 
@@ -116,6 +121,7 @@ class RunStore:
             path.stem
             for path in self.root.glob("*.json")
             if not path.name.startswith("manifest-")
+            and not path.name.endswith(".failed.json")
         )
 
     # -- reading --------------------------------------------------------------------
@@ -179,7 +185,52 @@ class RunStore:
             "wall_clock_s": wall_clock_s,
             "result": result.to_dict(),
         }
-        return self._write_atomic(self.path_for(run_id), artifact)
+        path = self._write_atomic(self.path_for(run_id), artifact)
+        # A successful run supersedes any stale failure record.
+        self.clear_failure(run_id)
+        return path
+
+    # -- failure sidecars -----------------------------------------------------------
+
+    def record_failure(
+        self,
+        run_id: str,
+        label: str,
+        error: str,
+        wall_clock_s: Optional[float] = None,
+    ) -> pathlib.Path:
+        """Persist a failure sidecar for a run with no artifact.
+
+        A timed-out or crashed worker leaves no result to store; the
+        sidecar records *that it failed and why*, so a later
+        :meth:`validate_manifest` distinguishes "failed" from "never ran",
+        while :meth:`has` still reports the run as absent (resume retries
+        it)."""
+        payload = {
+            "schema": RUN_SCHEMA_VERSION,
+            "run_id": run_id,
+            "label": label,
+            "status": "failed",
+            "error": error,
+            "wall_clock_s": wall_clock_s,
+        }
+        return self._write_atomic(self.failure_path_for(run_id), payload)
+
+    def load_failure(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """The failure sidecar for ``run_id``, or None if there is none."""
+        path = self.failure_path_for(run_id)
+        try:
+            return json.loads(path.read_text())
+        except OSError:
+            return None
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt failure sidecar {path}: {exc}") from exc
+
+    def clear_failure(self, run_id: str) -> None:
+        try:
+            self.failure_path_for(run_id).unlink()
+        except OSError:
+            pass
 
     def _write_atomic(
         self, path: pathlib.Path, payload: Dict[str, Any]
@@ -230,13 +281,22 @@ class RunStore:
             raise StoreError(f"unreadable sweep manifest {path}: {exc}") from exc
 
     def validate_manifest(self, sweep_id: str) -> Dict[str, str]:
-        """Per-run status of a sweep: ``run_id → ok|missing|invalid``."""
+        """Per-run status of a sweep: ``run_id → ok|missing|failed|invalid``.
+
+        ``failed`` means no artifact exists but a failure sidecar does —
+        the run executed and died (timeout, crash, exception) rather than
+        never having been attempted.
+        """
         manifest = self.load_manifest(sweep_id)
         statuses: Dict[str, str] = {}
         for entry in manifest["runs"]:
             run_id = entry["run_id"]
             if not self.path_for(run_id).exists():
-                statuses[run_id] = "missing"
+                statuses[run_id] = (
+                    "failed"
+                    if self.failure_path_for(run_id).exists()
+                    else "missing"
+                )
                 continue
             try:
                 artifact = self.load_artifact(run_id)

@@ -7,7 +7,9 @@ into throughput:
 
 * :func:`expand_grid` expands a base config and axis values into the list
   of :class:`~repro.experiments.config.ExperimentConfig` cells;
-* :func:`run_sweep` fans the cells out to a ``spawn`` worker pool. Workers
+* :func:`run_sweep` fans the cells out to ``spawn`` worker processes,
+  one process per run, under a parent-side watchdog (``timeout_s``)
+  that kills overdue workers and records hard-crashed ones. Workers
   never receive live replicas or emulators — only ``config.to_dict()``
   payloads — and rebuild the scenario on their side, so the engine is
   safe under every multiprocessing start method and never pays pickling
@@ -28,10 +30,11 @@ asserts exactly that, and records the wall-clock speedup).
 from __future__ import annotations
 
 import multiprocessing
-import threading
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field, replace
+from queue import Empty
 from typing import (
     Any,
     Callable,
@@ -55,6 +58,9 @@ TELEMETRY_KEYS: Tuple[str, ...] = (
     "syncs",
     "encounters",
     "transmissions",
+    "quarantined_entries",
+    "rejected_knowledge",
+    "protocol_violations",
 )
 
 #: Progress callback: receives one :class:`SweepEvent` per lifecycle step.
@@ -189,16 +195,9 @@ def filter_by_label(
 
 # -- worker side ----------------------------------------------------------------------
 #
-# Everything below the parent hands to the pool must be importable at
+# Everything below the parent hands to workers must be importable at
 # module top level: ``spawn`` workers re-import this module and receive
 # only picklable payloads (config dicts), never live simulation state.
-
-_PROGRESS_QUEUE: Optional[Any] = None
-
-
-def _init_worker(queue: Optional[Any]) -> None:
-    global _PROGRESS_QUEUE
-    _PROGRESS_QUEUE = queue
 
 
 def _execute(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -229,11 +228,9 @@ def _execute(payload: Dict[str, Any]) -> Dict[str, Any]:
         }
 
 
-def _pool_run(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Pool target: wraps :func:`_execute` with started-event streaming."""
-    if _PROGRESS_QUEUE is not None:
-        _PROGRESS_QUEUE.put(("started", payload["run_id"], payload["label"]))
-    return _execute(payload)
+def _worker_entry(payload: Dict[str, Any], queue: Any) -> None:
+    """Process target: run one cell and ship its outcome back on the queue."""
+    queue.put(_execute(payload))
 
 
 # -- parent side ----------------------------------------------------------------------
@@ -246,6 +243,7 @@ def run_sweep(
     resume: bool = True,
     progress: Optional[ProgressCallback] = None,
     extra_days: int = 0,
+    timeout_s: Optional[float] = None,
 ) -> SweepReport:
     """Run every config, parallel across processes, into the store.
 
@@ -254,11 +252,19 @@ def run_sweep(
     * ``resume=True`` (default) skips configs whose artifacts already
       exist in the store and validate; ``False`` re-runs and overwrites.
     * ``progress`` receives a :class:`SweepEvent` per lifecycle step.
+    * ``timeout_s`` arms the watchdog: each run gets that much wall
+      clock, after which its worker process is killed and the run is
+      recorded as a ``failed`` outcome with a failure sidecar in the
+      store (a later resume of the same grid retries it). Setting a
+      timeout forces the process path even for ``workers=1`` — a hung
+      run can only be killed from outside its process.
 
     The sweep manifest is written before any run starts, so a killed
     sweep leaves behind both the plan and the completed artifacts —
     everything resume needs.
     """
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive")
     store = store if store is not None else RunStore()
     run_ids = [run_id_for(config) for config in configs]
     if len(set(run_ids)) != len(run_ids):
@@ -320,6 +326,12 @@ def run_sweep(
         run_id = payload["run_id"]
         label = payload["label"]
         if "error" in outcome_raw:
+            store.record_failure(
+                run_id,
+                label,
+                outcome_raw["error"],
+                wall_clock_s=outcome_raw["wall_clock_s"],
+            )
             report.outcomes.append(
                 RunOutcome(
                     run_id=run_id,
@@ -346,12 +358,18 @@ def run_sweep(
             "finished", run_id, label, telemetry=outcome_raw["telemetry"]
         )
 
-    if len(pending) <= 1 or workers <= 1:
+    if timeout_s is None and (len(pending) <= 1 or workers <= 1):
         for payload in pending:
             emit("started", payload["run_id"], payload["label"])
             settle(payload, _execute(payload))
-    else:
-        _run_parallel(pending, min(workers, len(pending)), emit, settle)
+    elif pending:
+        _run_parallel(
+            pending,
+            max(1, min(workers, len(pending))),
+            emit,
+            settle,
+            timeout_s=timeout_s,
+        )
 
     # Outcomes in grid order, matching ``configs`` — parallel completion
     # order is nondeterministic and should not leak into the report.
@@ -361,38 +379,111 @@ def run_sweep(
     return report
 
 
+#: Grace period after a worker process dies before declaring it crashed —
+#: its result may still be in flight through the queue's feeder pipe.
+_CRASH_GRACE_S = 1.0
+
+#: Parent poll interval: how often the watchdog wakes to check deadlines
+#: and dead workers while no results are arriving.
+_POLL_INTERVAL_S = 0.05
+
+
 def _run_parallel(
     pending: List[Dict[str, Any]],
     workers: int,
     emit: Callable[..., None],
     settle: Callable[[Dict[str, Any], Dict[str, Any]], None],
+    timeout_s: Optional[float] = None,
+    worker: Callable[[Dict[str, Any], Any], None] = _worker_entry,
 ) -> None:
-    """Fan ``pending`` out to a spawn pool, streaming progress events.
+    """Fan ``pending`` out process-per-run with a watchdog loop.
 
-    ``spawn`` (not ``fork``) keeps workers honest: they prove the runs are
-    reconstructible from serialized configs alone, and it sidesteps
-    fork-safety hazards entirely.
+    ``spawn`` (not ``fork``) keeps workers honest: they prove the runs
+    are reconstructible from serialized configs alone, and it sidesteps
+    fork-safety hazards entirely. One process per run (rather than a
+    long-lived pool) is what makes the watchdog sound — killing a hung or
+    overdue run is ``terminate()`` on its own process, with no shared
+    worker state to poison.
+
+    A worker that exceeds ``timeout_s`` is terminated and settled as a
+    failure; a worker that dies without reporting (hard crash, OOM kill)
+    is detected by the liveness check and settled the same way after a
+    short grace period for in-flight queue data. ``worker`` is the
+    process target, parameterised for tests that need a misbehaving one.
     """
-    by_run_id = {payload["run_id"]: payload for payload in pending}
     ctx = multiprocessing.get_context("spawn")
     queue = ctx.Queue()
-    sentinel = ("done", None, None)
+    waiting = deque(pending)
+    live: Dict[str, Dict[str, Any]] = {}
 
-    def drain() -> None:
-        while True:
-            kind, run_id, label = queue.get()
-            if kind == "done":
-                return
-            emit(kind, run_id, label)
+    def reap(run_id: str, outcome_raw: Dict[str, Any]) -> None:
+        # A late result can race a watchdog verdict; first settle wins.
+        entry = live.pop(run_id, None)
+        if entry is None:
+            return
+        entry["proc"].join(timeout=5.0)
+        settle(entry["payload"], outcome_raw)
 
-    drainer = threading.Thread(target=drain, daemon=True)
-    drainer.start()
     try:
-        with ctx.Pool(
-            processes=workers, initializer=_init_worker, initargs=(queue,)
-        ) as pool:
-            for outcome_raw in pool.imap_unordered(_pool_run, pending):
-                settle(by_run_id[outcome_raw["run_id"]], outcome_raw)
+        while waiting or live:
+            while waiting and len(live) < workers:
+                payload = waiting.popleft()
+                proc = ctx.Process(target=worker, args=(payload, queue))
+                proc.daemon = True
+                proc.start()
+                now = time.monotonic()
+                live[payload["run_id"]] = {
+                    "proc": proc,
+                    "payload": payload,
+                    "deadline": (
+                        now + timeout_s if timeout_s is not None else None
+                    ),
+                    "started": now,
+                    "dead_since": None,
+                }
+                emit("started", payload["run_id"], payload["label"])
+            try:
+                outcome_raw = queue.get(timeout=_POLL_INTERVAL_S)
+            except Empty:
+                outcome_raw = None
+            if outcome_raw is not None:
+                reap(outcome_raw["run_id"], outcome_raw)
+                continue
+            now = time.monotonic()
+            for run_id in list(live):
+                entry = live[run_id]
+                proc = entry["proc"]
+                if entry["deadline"] is not None and now >= entry["deadline"]:
+                    proc.terminate()
+                    reap(
+                        run_id,
+                        {
+                            "run_id": run_id,
+                            "wall_clock_s": now - entry["started"],
+                            "error": (
+                                f"timed out after {timeout_s}s "
+                                "(watchdog killed the worker)"
+                            ),
+                        },
+                    )
+                elif not proc.is_alive():
+                    if entry["dead_since"] is None:
+                        entry["dead_since"] = now
+                    elif now - entry["dead_since"] >= _CRASH_GRACE_S:
+                        reap(
+                            run_id,
+                            {
+                                "run_id": run_id,
+                                "wall_clock_s": now - entry["started"],
+                                "error": (
+                                    "worker crashed with exit code "
+                                    f"{proc.exitcode} before reporting "
+                                    "a result"
+                                ),
+                            },
+                        )
     finally:
-        queue.put(sentinel)
-        drainer.join(timeout=5.0)
+        for entry in live.values():
+            entry["proc"].terminate()
+        queue.close()
+        queue.cancel_join_thread()

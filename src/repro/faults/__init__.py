@@ -35,12 +35,22 @@ from .models import (
     CrashRestart,
     EntryDuplication,
     FaultModel,
+    FrameReplay,
+    KnowledgeFabrication,
+    MalformedFrame,
+    PayloadCorruption,
 )
-from .transport import DeliveryOutcome, FaultyTransport
+from .transport import (
+    CORRUPTED_PAYLOAD,
+    REPLAY_POOL_LIMIT,
+    DeliveryOutcome,
+    FaultyTransport,
+)
 
 __all__ = [
     "BatchTruncation",
     "BernoulliEncounterDrop",
+    "CORRUPTED_PAYLOAD",
     "CrashRestart",
     "DeliveryOutcome",
     "EntryDuplication",
@@ -49,7 +59,12 @@ __all__ = [
     "FaultInjector",
     "FaultModel",
     "FaultyTransport",
+    "FrameReplay",
+    "KnowledgeFabrication",
+    "MalformedFrame",
     "Pair",
+    "PayloadCorruption",
+    "REPLAY_POOL_LIMIT",
     "ResumeTracker",
     "RetryState",
     "TRUNCATION_UNITS",

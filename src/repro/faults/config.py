@@ -43,6 +43,18 @@ class FaultConfig:
       after the encounter and restarts from durable state via the
       persistence layer.
 
+    Adversarial models (content-level misbehaviour; see
+    ``docs/faults.md``):
+
+    * ``corruption_probability`` — per delivered copy, the payload is
+      corrupted in transit (the checksum catches it at the receiver).
+    * ``replay_probability`` — per sync session, previously delivered
+      entries from the same link are re-delivered.
+    * ``fabrication_probability`` — per sync session, the sync request's
+      knowledge is inflated to claim versions the target never received.
+    * ``malformed_probability`` — per delivered copy, the entry is
+      replaced by an undecodable garbage frame.
+
     Retry/backoff bookkeeping (applies to interrupted sessions):
 
     * ``retry_backoff_base`` — seconds to wait before re-attempting a
@@ -50,6 +62,14 @@ class FaultConfig:
     * ``retry_backoff_factor`` — exponential growth per consecutive
       interruption.
     * ``retry_backoff_max`` — cap on the computed delay.
+
+    Peer-health policy (consumed by
+    :class:`repro.replication.peer_health.PeerHealthTracker`): a peer
+    accumulating ``suspect_threshold`` violation strikes turns suspect,
+    ``quarantine_threshold`` turns quarantined; quarantined peers wait
+    out an exponential backoff (``quarantine_backoff_*`` with
+    ``quarantine_jitter``) before ``recovery_probes`` consecutive clean
+    probe encounters restore them to healthy.
     """
 
     encounter_drop_probability: float = 0.0
@@ -59,9 +79,20 @@ class FaultConfig:
     truncation_unit: str = "items"
     duplication_probability: float = 0.0
     crash_probability: float = 0.0
+    corruption_probability: float = 0.0
+    replay_probability: float = 0.0
+    fabrication_probability: float = 0.0
+    malformed_probability: float = 0.0
     retry_backoff_base: float = 60.0
     retry_backoff_factor: float = 2.0
     retry_backoff_max: float = 3600.0
+    suspect_threshold: int = 3
+    quarantine_threshold: int = 6
+    quarantine_backoff_base: float = 120.0
+    quarantine_backoff_factor: float = 2.0
+    quarantine_backoff_max: float = 3600.0
+    quarantine_jitter: float = 0.1
+    recovery_probes: int = 2
 
     def __post_init__(self) -> None:
         for name in (
@@ -69,6 +100,10 @@ class FaultConfig:
             "truncation_probability",
             "duplication_probability",
             "crash_probability",
+            "corruption_probability",
+            "replay_probability",
+            "fabrication_probability",
+            "malformed_probability",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -88,6 +123,24 @@ class FaultConfig:
             raise ValueError("retry_backoff_factor must be >= 1")
         if self.retry_backoff_max < self.retry_backoff_base:
             raise ValueError("retry_backoff_max must be >= retry_backoff_base")
+        if self.suspect_threshold < 1:
+            raise ValueError("suspect_threshold must be >= 1")
+        if self.quarantine_threshold < self.suspect_threshold:
+            raise ValueError(
+                "quarantine_threshold must be >= suspect_threshold"
+            )
+        if self.quarantine_backoff_base <= 0:
+            raise ValueError("quarantine_backoff_base must be positive")
+        if self.quarantine_backoff_factor < 1.0:
+            raise ValueError("quarantine_backoff_factor must be >= 1")
+        if self.quarantine_backoff_max < self.quarantine_backoff_base:
+            raise ValueError(
+                "quarantine_backoff_max must be >= quarantine_backoff_base"
+            )
+        if not 0.0 <= self.quarantine_jitter < 1.0:
+            raise ValueError("quarantine_jitter must be in [0, 1)")
+        if self.recovery_probes < 1:
+            raise ValueError("recovery_probes must be >= 1")
 
     @property
     def enabled(self) -> bool:
@@ -99,13 +152,41 @@ class FaultConfig:
                 self.truncation_probability,
                 self.duplication_probability,
                 self.crash_probability,
+                self.corruption_probability,
+                self.replay_probability,
+                self.fabrication_probability,
+                self.malformed_probability,
             )
         )
 
     @property
     def has_transport_faults(self) -> bool:
-        """True when per-batch (truncation/duplication) faults are armed."""
-        return self.truncation_probability > 0.0 or self.duplication_probability > 0.0
+        """True when any per-session channel fault is armed (the sync
+        engine then routes batches through a :class:`FaultyTransport`)."""
+        return any(
+            probability > 0.0
+            for probability in (
+                self.truncation_probability,
+                self.duplication_probability,
+                self.corruption_probability,
+                self.replay_probability,
+                self.fabrication_probability,
+                self.malformed_probability,
+            )
+        )
+
+    @property
+    def has_adversarial_faults(self) -> bool:
+        """True when a content-level (adversarial) fault model is armed."""
+        return any(
+            probability > 0.0
+            for probability in (
+                self.corruption_probability,
+                self.replay_probability,
+                self.fabrication_probability,
+                self.malformed_probability,
+            )
+        )
 
     # -- serialization (the repro.api round-trip contract) ------------------------
 

@@ -24,12 +24,18 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.replication.ids import ReplicaId
+
 from .config import FaultConfig
 from .models import (
     BatchTruncation,
     BernoulliEncounterDrop,
     CrashRestart,
     EntryDuplication,
+    FrameReplay,
+    KnowledgeFabrication,
+    MalformedFrame,
+    PayloadCorruption,
 )
 from .transport import FaultyTransport
 
@@ -50,6 +56,14 @@ class FaultCounters:
     interrupted_syncs: int = 0
     resumed_pairs: int = 0
     crashes: int = 0
+    corrupted_entries: int = 0
+    malformed_entries: int = 0
+    replayed_entries: int = 0
+    fabricated_requests: int = 0
+
+    def note(self, counter: str, amount: int = 1) -> None:
+        """Increment one counter by name (the transport's callback)."""
+        setattr(self, counter, getattr(self, counter) + amount)
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -58,6 +72,10 @@ class FaultCounters:
             "interrupted_syncs": self.interrupted_syncs,
             "resumed_pairs": self.resumed_pairs,
             "crashes": self.crashes,
+            "corrupted_entries": self.corrupted_entries,
+            "malformed_entries": self.malformed_entries,
+            "replayed_entries": self.replayed_entries,
+            "fabricated_requests": self.fabricated_requests,
         }
 
 
@@ -148,6 +166,30 @@ class FaultInjector:
             if config.crash_probability > 0.0
             else None
         )
+        self._corruption = (
+            PayloadCorruption(config.corruption_probability)
+            if config.corruption_probability > 0.0
+            else None
+        )
+        self._malformed = (
+            MalformedFrame(config.malformed_probability)
+            if config.malformed_probability > 0.0
+            else None
+        )
+        self._replay = (
+            FrameReplay(config.replay_probability)
+            if config.replay_probability > 0.0
+            else None
+        )
+        self._fabrication = (
+            KnowledgeFabrication(config.fabrication_probability)
+            if config.fabrication_probability > 0.0
+            else None
+        )
+        #: Previously confirmed entries per *directed* link, feeding the
+        #: replay model: a replayed frame can only contain what that link
+        #: actually carried.
+        self._replay_pools: Dict[Tuple[str, str], List[object]] = {}
 
     # -- per-encounter decision points --------------------------------------------
 
@@ -164,12 +206,43 @@ class FaultInjector:
             return True
         return False
 
-    def transport(self) -> Optional[FaultyTransport]:
-        """A fresh lossy channel for one sync session (None = perfect)."""
-        if self._truncation is None and self._duplication is None:
+    def transport(
+        self, source: Optional[str] = None, target: Optional[str] = None
+    ) -> Optional[FaultyTransport]:
+        """A fresh lossy channel for one sync session (None = perfect).
+
+        ``source``/``target`` name the session's directed link; they are
+        required for the replay model (which keys its pools by link) and
+        the fabrication model (which tampers with claims about the
+        source's own versions), and optional otherwise — existing
+        truncation/duplication-only callers keep working unchanged.
+        """
+        if all(
+            model is None
+            for model in (
+                self._truncation,
+                self._duplication,
+                self._corruption,
+                self._malformed,
+                self._replay,
+                self._fabrication,
+            )
+        ):
             return None
+        pool: Optional[List[object]] = None
+        if self._replay is not None and source is not None and target is not None:
+            pool = self._replay_pools.setdefault((source, target), [])
         return FaultyTransport(
-            self.rng, truncation=self._truncation, duplication=self._duplication
+            self.rng,
+            truncation=self._truncation,
+            duplication=self._duplication,
+            corruption=self._corruption,
+            malformed=self._malformed,
+            replay=self._replay,
+            fabrication=self._fabrication,
+            source_id=ReplicaId(source) if source is not None else None,
+            replay_pool=pool,
+            on_fault=self.counters.note,
         )
 
     def note_encounter_outcome(

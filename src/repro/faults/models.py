@@ -135,3 +135,106 @@ class CrashRestart(FaultModel):
     ) -> List[str]:
         """Independent per-participant draws, in the given (stable) order."""
         return [name for name in participants if self.fires(rng)]
+
+
+# -- adversarial models -----------------------------------------------------------
+#
+# The four models below attack the *content* of the protocol rather than
+# its timing: flipped payload bytes, garbage frames, replayed batches,
+# and fabricated knowledge. They exercise the hardened receive path
+# (checksums, per-entry quarantine, request validation) the way the
+# transport models exercise resume/backoff.
+
+
+class PayloadCorruption(FaultModel):
+    """Flip a delivered entry's payload in transit: bit rot on the link.
+
+    The corrupted copy still carries the sender's checksum, so the
+    receiver's integrity check catches it and quarantines the entry; the
+    real item retries at a later contact.
+    """
+
+    name = "payload-corruption"
+
+    def corrupt_mask(self, count: int, rng: random.Random) -> List[bool]:
+        """One independent draw per delivered copy, in stream order."""
+        if self.probability <= 0.0:
+            return [False] * count
+        return [rng.random() < self.probability for _ in range(count)]
+
+
+class MalformedFrame(FaultModel):
+    """Replace a delivered entry with an undecodable garbage frame.
+
+    Models framing-level damage (or a buggy/hostile peer) severe enough
+    that the entry cannot even be parsed; the hardened receive path must
+    skip it without aborting the rest of the batch.
+    """
+
+    name = "malformed-frame"
+
+    def malform_mask(self, count: int, rng: random.Random) -> List[bool]:
+        """One independent draw per delivered copy, in stream order."""
+        if self.probability <= 0.0:
+            return [False] * count
+        return [rng.random() < self.probability for _ in range(count)]
+
+
+class FrameReplay(FaultModel):
+    """Re-deliver entries from an earlier session on the same link.
+
+    Fires at most once per sync session; when it does, between one and
+    ``maximum_entries`` previously delivered entries (sampled from the
+    link's replay pool) are appended to the stream. The receiver already
+    knows their versions, so an honest-source contract makes them
+    detectable as replays — and at-most-once delivery must hold anyway.
+    """
+
+    name = "frame-replay"
+
+    def __init__(self, probability: float, maximum_entries: int = 3) -> None:
+        super().__init__(probability)
+        if maximum_entries < 1:
+            raise ValueError("maximum_entries must be >= 1")
+        self.maximum_entries = maximum_entries
+
+    def plan_replay(self, pool_size: int, rng: random.Random) -> List[int]:
+        """Indices into the replay pool to re-deliver (may be empty)."""
+        if pool_size <= 0 or not self.fires(rng):
+            return []
+        count = rng.randint(1, min(self.maximum_entries, pool_size))
+        return sorted(rng.sample(range(pool_size), count))
+
+    def describe(self) -> Dict[str, object]:
+        description = super().describe()
+        description["maximum_entries"] = self.maximum_entries
+        return description
+
+
+class KnowledgeFabrication(FaultModel):
+    """Inflate the knowledge in a sync request beyond what its sender has.
+
+    Models a tampered (or lying) target that claims to already know
+    versions it never received — an unguarded source would then withhold
+    real items forever. Fires at most once per session; the inflation
+    amount is drawn uniformly from ``[1, maximum_inflation]``.
+    """
+
+    name = "knowledge-fabrication"
+
+    def __init__(self, probability: float, maximum_inflation: int = 5) -> None:
+        super().__init__(probability)
+        if maximum_inflation < 1:
+            raise ValueError("maximum_inflation must be >= 1")
+        self.maximum_inflation = maximum_inflation
+
+    def inflate_by(self, rng: random.Random) -> int:
+        """How many counters to fabricate this session (0 = no fault)."""
+        if not self.fires(rng):
+            return 0
+        return rng.randint(1, self.maximum_inflation)
+
+    def describe(self) -> Dict[str, object]:
+        description = super().describe()
+        description["maximum_inflation"] = self.maximum_inflation
+        return description

@@ -24,11 +24,15 @@ Typical use::
 from .codec import (
     CodecError,
     decode_batch,
+    decode_batch_entry,
+    decode_batch_frame,
     decode_filter,
     decode_item,
     decode_knowledge,
     decode_sync_request,
     encode_batch,
+    encode_batch_entry,
+    encode_batch_frame,
     encode_filter,
     encode_item,
     encode_knowledge,
@@ -36,6 +40,25 @@ from .codec import (
     knowledge_wire_size,
     register_routing_codec,
     wire_size,
+)
+from .integrity import (
+    VIOLATION_CHECKSUM_MISMATCH,
+    VIOLATION_KINDS,
+    VIOLATION_KNOWLEDGE_FABRICATION,
+    VIOLATION_MALFORMED_ENTRY,
+    VIOLATION_REPLAY,
+    VIOLATION_VERSION_CONFLICT,
+    ProtocolViolation,
+    frame_checksum,
+    item_checksum,
+)
+from .peer_health import (
+    HEALTHY,
+    PEER_STATES,
+    QUARANTINED,
+    SUSPECT,
+    PeerHealthTracker,
+    PeerRecord,
 )
 from .hierarchy import FilterTree, PushUpPolicy
 from .persistence import (
@@ -95,6 +118,7 @@ from .sync import (
     build_request,
     perform_encounter,
     perform_sync,
+    validate_request_knowledge,
 )
 from .versions import VersionVector
 
@@ -113,6 +137,7 @@ __all__ = [
     "DuplicateDeliveryError",
     "Filter",
     "FilterTree",
+    "HEALTHY",
     "IdFactory",
     "InvalidFilterError",
     "Item",
@@ -128,36 +153,54 @@ __all__ = [
     "NullRoutingPolicy",
     "ObserverList",
     "OrFilter",
+    "PEER_STATES",
+    "PeerHealthTracker",
+    "PeerRecord",
     "PolicyError",
     "Priority",
+    "ProtocolViolation",
     "PushUpPolicy",
     "PriorityClass",
+    "QUARANTINED",
     "RelayStore",
     "Replica",
     "ReplicaId",
     "ReplicaObserver",
     "ReplicationError",
     "RoutingPolicy",
+    "SUSPECT",
     "SyncContext",
     "SyncEndpoint",
     "SyncProtocolError",
     "SyncRequest",
     "SyncStats",
     "UnknownItemError",
+    "VIOLATION_CHECKSUM_MISMATCH",
+    "VIOLATION_KINDS",
+    "VIOLATION_KNOWLEDGE_FABRICATION",
+    "VIOLATION_MALFORMED_ENTRY",
+    "VIOLATION_REPLAY",
+    "VIOLATION_VERSION_CONFLICT",
     "Version",
     "VersionVector",
     "build_batch",
     "build_request",
     "decode_batch",
+    "decode_batch_entry",
+    "decode_batch_frame",
     "decode_filter",
     "decode_item",
     "decode_knowledge",
     "decode_sync_request",
     "encode_batch",
+    "encode_batch_entry",
+    "encode_batch_frame",
     "encode_filter",
     "encode_item",
     "encode_knowledge",
     "encode_sync_request",
+    "frame_checksum",
+    "item_checksum",
     "knowledge_wire_size",
     "load_replica",
     "perform_encounter",
@@ -167,5 +210,6 @@ __all__ = [
     "replica_to_state",
     "save_replica",
     "validate_host_filter",
+    "validate_request_knowledge",
     "wire_size",
 ]

@@ -42,6 +42,7 @@ from .filters import (
     OrFilter,
 )
 from .ids import ItemId, ReplicaId, Version
+from .integrity import frame_checksum, item_checksum
 from .items import Item
 from .sync import BatchEntry, SyncRequest
 from .routing import Priority, PriorityClass
@@ -161,7 +162,15 @@ def decode_filter(data: Any) -> Filter:
 # -- items --------------------------------------------------------------------------
 
 
-def encode_item(item: Item) -> Dict[str, Any]:
+def encode_item(item: Item, with_checksum: bool = False) -> Dict[str, Any]:
+    """Encode one item; ``with_checksum`` stamps its content checksum.
+
+    The checksum covers the replicated content only (never the host-local
+    attributes — see :func:`repro.replication.integrity.item_checksum`),
+    so relay hops that rewrite TTLs or hop lists do not invalidate it.
+    Checksums are opt-in to keep the plain wire format — and every
+    zero-fault byte measurement built on it — unchanged.
+    """
     encoded: Dict[str, Any] = {
         "id": encode_item_id(item.item_id),
         "version": encode_version(item.version),
@@ -172,6 +181,8 @@ def encode_item(item: Item) -> Dict[str, Any]:
         encoded["local"] = _encode_local_attributes(item.local_attributes)
     if item.deleted:
         encoded["deleted"] = True
+    if with_checksum:
+        encoded["checksum"] = item_checksum(item)
     return encoded
 
 
@@ -185,12 +196,18 @@ def _encode_local_attributes(local: Any) -> Dict[str, Any]:
 
 
 def decode_item(data: Any) -> Item:
+    """Decode one item, verifying its content checksum when present.
+
+    A checksum mismatch means the encoded bytes were altered after the
+    sender stamped them — the item is refused with :class:`CodecError`
+    rather than silently admitted to a store.
+    """
     try:
         local = {
             key: tuple(value) if isinstance(value, list) else value
             for key, value in data.get("local", {}).items()
         }
-        return Item(
+        item = Item(
             item_id=decode_item_id(data["id"]),
             version=decode_version(data["version"]),
             payload=data.get("payload"),
@@ -198,8 +215,15 @@ def decode_item(data: Any) -> Item:
             local_attributes=local,
             deleted=bool(data.get("deleted", False)),
         )
-    except (KeyError, TypeError) as error:
+    except (KeyError, TypeError, ValueError) as error:
         raise CodecError(f"bad item encoding: {data!r}") from error
+    declared = data.get("checksum")
+    if declared is not None and item_checksum(item) != declared:
+        raise CodecError(
+            f"item {item.item_id} fails its content checksum "
+            f"(declared {declared!r})"
+        )
+    return item
 
 
 # -- routing-state registry -------------------------------------------------------------
@@ -267,32 +291,105 @@ def decode_sync_request(data: Any) -> SyncRequest:
         raise CodecError(f"bad sync request encoding: {data!r}") from error
 
 
-def encode_batch(batch: List[BatchEntry]) -> List[Dict[str, Any]]:
+def encode_batch_entry(
+    entry: BatchEntry, with_checksum: bool = False
+) -> Dict[str, Any]:
+    """Encode one batch entry; checksums are stamped when requested or
+    when the entry already carries one (re-encoding preserves it)."""
+    encoded = {
+        "item": encode_item(entry.item),
+        "matched": entry.matched_filter,
+        "priority": [int(entry.priority.class_), entry.priority.cost],
+    }
+    if with_checksum or entry.checksum is not None:
+        encoded["checksum"] = (
+            entry.checksum
+            if entry.checksum is not None
+            else item_checksum(entry.item)
+        )
+    return encoded
+
+
+def decode_batch_entry(data: Any) -> BatchEntry:
+    """Decode one batch entry frame.
+
+    The entry-level checksum (when present) is carried onto the
+    :class:`BatchEntry` for ``apply_batch`` to verify against the item's
+    content — the codec validates the frame's *shape* here; content
+    verification belongs to the receive path so a mismatch quarantines
+    one entry rather than failing the whole decode.
+    """
+    try:
+        class_value, cost = data["priority"]
+        checksum = data.get("checksum")
+        if checksum is not None and not isinstance(checksum, str):
+            raise CodecError(f"bad entry checksum: {checksum!r}")
+        return BatchEntry(
+            item=decode_item(data["item"]),
+            matched_filter=bool(data["matched"]),
+            priority=Priority(PriorityClass(class_value), float(cost)),
+            checksum=checksum,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise CodecError(f"bad batch entry: {data!r}") from error
+
+
+def encode_batch(
+    batch: List[BatchEntry], with_checksums: bool = False
+) -> List[Dict[str, Any]]:
     return [
-        {
-            "item": encode_item(entry.item),
-            "matched": entry.matched_filter,
-            "priority": [int(entry.priority.class_), entry.priority.cost],
-        }
+        encode_batch_entry(entry, with_checksum=with_checksums)
         for entry in batch
     ]
 
 
 def decode_batch(data: Any) -> List[BatchEntry]:
-    entries = []
-    for element in data:
-        try:
-            class_value, cost = element["priority"]
-            entries.append(
-                BatchEntry(
-                    item=decode_item(element["item"]),
-                    matched_filter=bool(element["matched"]),
-                    priority=Priority(PriorityClass(class_value), float(cost)),
-                )
-            )
-        except (KeyError, TypeError, ValueError) as error:
-            raise CodecError(f"bad batch entry: {element!r}") from error
-    return entries
+    return [decode_batch_entry(element) for element in data]
+
+
+def encode_batch_frame(batch: List[BatchEntry]) -> Dict[str, Any]:
+    """Encode a whole batch as one integrity-protected frame.
+
+    Every entry is checksummed individually and the frame carries a
+    checksum over the ordered entry checksums, so both a flipped payload
+    byte and a reordered/spliced entry list are detectable at decode
+    time.
+    """
+    entries = [
+        encode_batch_entry(entry, with_checksum=True) for entry in batch
+    ]
+    return {
+        "entries": entries,
+        "checksum": frame_checksum(
+            entry["checksum"] for entry in entries
+        ),
+    }
+
+
+def decode_batch_frame(data: Any) -> List[BatchEntry]:
+    """Decode an integrity-protected batch frame.
+
+    Raises :class:`CodecError` when the frame-level checksum does not
+    match the ordered entry checksums — a damaged or tampered frame is
+    rejected before any entry is considered. Per-entry content checks
+    then happen entry-by-entry in ``apply_batch``.
+    """
+    try:
+        raw_entries = data["entries"]
+        declared = data["checksum"]
+    except (KeyError, TypeError) as error:
+        raise CodecError(f"bad batch frame: {data!r}") from error
+    checksums = []
+    for element in raw_entries:
+        checksum = element.get("checksum") if isinstance(element, dict) else None
+        if not isinstance(checksum, str):
+            raise CodecError(f"batch frame entry missing checksum: {element!r}")
+        checksums.append(checksum)
+    if frame_checksum(checksums) != declared:
+        raise CodecError(
+            f"batch frame fails its checksum (declared {declared!r})"
+        )
+    return [decode_batch_entry(element) for element in raw_entries]
 
 
 # -- size accounting -----------------------------------------------------------------------

@@ -1,0 +1,105 @@
+"""Content integrity and protocol-violation reporting for the sync path.
+
+The sync engine trusts nothing it receives over a faulty channel: every
+batch entry can carry a content checksum (stamped by the sender just
+before transmission) and the receiver recomputes it before applying the
+item. A mismatch, an undecodable frame, a replayed entry, or fabricated
+knowledge is surfaced as a typed :class:`ProtocolViolation` instead of
+crashing or silently poisoning the store — the per-entry quarantine in
+:func:`repro.replication.sync.apply_batch` counts the entry, skips it,
+and leaves the sender's knowledge for that item unacknowledged so the
+item retries at a later contact.
+
+The checksum covers exactly the *replicated* content of an item — id,
+version, payload, shared attributes, and the deletion marker. Host-local
+attributes are excluded on purpose: routing policies legitimately rewrite
+them per copy (TTLs, hop lists, copy budgets), so including them would
+make every relay hop look like corruption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro._compat import DATACLASS_SLOTS
+
+from .items import Item
+
+#: Violation kinds, as they appear in metrics and logs.
+VIOLATION_CHECKSUM_MISMATCH = "checksum-mismatch"
+VIOLATION_MALFORMED_ENTRY = "malformed-entry"
+VIOLATION_REPLAY = "replay"
+VIOLATION_KNOWLEDGE_FABRICATION = "knowledge-fabrication"
+VIOLATION_VERSION_CONFLICT = "version-conflict"
+
+VIOLATION_KINDS: Tuple[str, ...] = (
+    VIOLATION_CHECKSUM_MISMATCH,
+    VIOLATION_MALFORMED_ENTRY,
+    VIOLATION_REPLAY,
+    VIOLATION_KNOWLEDGE_FABRICATION,
+    VIOLATION_VERSION_CONFLICT,
+)
+
+#: Hex digits kept from the sha256 digest; 64 bits of collision resistance
+#: is ample for corruption *detection* (the threat is noise, not forgery).
+_DIGEST_LENGTH = 16
+
+
+def _opaque(value: object) -> str:
+    """Stable placeholder for payloads that are not JSON-representable."""
+    return f"<{type(value).__name__}>"
+
+
+def item_checksum(item: Item) -> str:
+    """Checksum of an item's replicated content (hex, truncated sha256).
+
+    Deterministic across processes and Python versions: the content is
+    serialized as canonical compact JSON with sorted keys. Host-local
+    attributes never contribute (see module docstring).
+    """
+    body = {
+        "id": [item.item_id.origin.name, item.item_id.serial],
+        "version": [item.version.replica.name, item.version.counter],
+        "payload": item.payload,
+        "attributes": dict(item.attributes),
+        "deleted": bool(item.deleted),
+    }
+    payload = json.dumps(
+        body, sort_keys=True, separators=(",", ":"), default=_opaque
+    ).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:_DIGEST_LENGTH]
+
+
+def frame_checksum(entry_checksums: Iterable[str]) -> str:
+    """Checksum of a whole batch frame: the hash of its entries' checksums.
+
+    Order-sensitive — the protocol's monotone-progress argument relies on
+    in-order delivery, so a reordered frame must not validate.
+    """
+    joined = ",".join(entry_checksums).encode("utf-8")
+    return hashlib.sha256(joined).hexdigest()[:_DIGEST_LENGTH]
+
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
+class ProtocolViolation:
+    """One detected act of peer misbehaviour, as seen by one replica.
+
+    ``observer`` is the replica that detected the violation; ``peer`` is
+    the replica it holds responsible (its counterpart in the sync
+    session). ``kind`` is one of :data:`VIOLATION_KINDS`.
+    """
+
+    kind: str
+    peer: str
+    observer: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in VIOLATION_KINDS:
+            raise ValueError(
+                f"unknown violation kind {self.kind!r}; "
+                f"expected one of {VIOLATION_KINDS}"
+            )

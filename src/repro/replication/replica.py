@@ -186,6 +186,16 @@ class Replica:
         self.observers.on_delete(tombstone)
         return tombstone
 
+    @property
+    def last_authored_counter(self) -> int:
+        """The highest version counter this replica has ever issued.
+
+        Protocol validation uses this as the upper bound on what any peer
+        can legitimately claim to know about this replica's own versions:
+        a sync request whose knowledge exceeds it is fabricated.
+        """
+        return self._ids.last_counter
+
     # -- receiving -------------------------------------------------------------------
 
     def apply_remote(self, item: Item) -> bool:

@@ -33,14 +33,23 @@ MaxProp's ordering is designed for.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro._compat import DATACLASS_SLOTS
 
 from .errors import PolicyError
 from .filters import Filter
 from .ids import ReplicaId
+from .integrity import (
+    VIOLATION_CHECKSUM_MISMATCH,
+    VIOLATION_KNOWLEDGE_FABRICATION,
+    VIOLATION_MALFORMED_ENTRY,
+    VIOLATION_REPLAY,
+    VIOLATION_VERSION_CONFLICT,
+    ProtocolViolation,
+    item_checksum,
+)
 from .items import Item
 from .replica import Replica
 from .routing import (
@@ -77,11 +86,18 @@ class SyncRequest:
 
 @dataclass(**DATACLASS_SLOTS)
 class BatchEntry:
-    """One item scheduled for transmission, with its priority."""
+    """One item scheduled for transmission, with its priority.
+
+    ``checksum`` is the item's content checksum
+    (:func:`~repro.replication.integrity.item_checksum`), stamped by the
+    sender just before the entry crosses a faulty channel; ``None`` on
+    the perfect-channel path, where integrity is not in question.
+    """
 
     item: Item
     matched_filter: bool
     priority: Priority
+    checksum: Optional[str] = None
 
 
 @dataclass
@@ -95,6 +111,17 @@ class SyncStats:
     interrupted transfer, ``redundant_received`` duplicate deliveries the
     target recognised and discarded, and ``interrupted`` marking a session
     whose batch was truncated mid-transfer (the next encounter resumes it).
+
+    The hardened-sync fields account for peer misbehaviour:
+    ``quarantined_entries`` counts received entries refused by integrity
+    checks (undecodable frames, checksum mismatches, same-version content
+    conflicts) — skipped, not applied, and not acknowledged, so they
+    retry at a later contact; ``rejected_knowledge`` counts sync requests
+    whose knowledge claimed versions this source never authored; and
+    ``violations`` carries the typed
+    :class:`~repro.replication.integrity.ProtocolViolation` records
+    behind both (plus replay detections, which are counted under
+    ``redundant_received`` because the item is already known).
 
     The scan-cost fields make the hot-path optimisations observable:
     ``store_size`` is how many items the source held (what a full scan
@@ -119,8 +146,11 @@ class SyncStats:
     received_total: int = 0
     lost_in_transit: int = 0
     redundant_received: int = 0
+    quarantined_entries: int = 0
+    rejected_knowledge: int = 0
     interrupted: bool = False
     delivered_items: List[Item] = field(default_factory=list)
+    violations: List[ProtocolViolation] = field(default_factory=list)
 
     @property
     def transmissions(self) -> int:
@@ -141,6 +171,52 @@ def build_request(target: SyncEndpoint, context: SyncContext) -> SyncRequest:
         filter=target.replica.filter,
         routing_state=routing_state,
     )
+
+
+def validate_request_knowledge(
+    source: SyncEndpoint, request: SyncRequest, stats: SyncStats
+) -> VersionVector:
+    """Source-side protocol validation of the target's claimed knowledge.
+
+    A peer can legitimately claim knowledge of this replica's own versions
+    only up to the highest counter this replica has ever authored. A claim
+    beyond that is fabricated (or the request was corrupted in transit):
+    it is surfaced as a :class:`ProtocolViolation`, counted in
+    ``stats.rejected_knowledge``, and the knowledge used for batch
+    selection is *clamped* to the authored range — claims about versions
+    this replica never authored cannot mask items (present or future)
+    carrying those versions. Claims *within* the authored range are
+    indistinguishable from honest state, so a tampered request costs at
+    most one session's delay: the next request, built from the target's
+    real vector, re-offers anything withheld. The target's own vector is
+    never touched (knowledge travels by value), and a replica never
+    regresses its own knowledge in response to anything a peer claims.
+
+    Honest requests pass through unchanged at zero cost — no allocation,
+    no RNG — which is what keeps zero-fault runs byte-identical.
+    """
+    knowledge = request.knowledge
+    own = source.replica_id
+    authored = source.replica.last_authored_counter
+    claimed = max(
+        knowledge.known_counter_prefix(own),
+        max(knowledge.extra_counters(own), default=0),
+    )
+    if claimed > authored:
+        stats.rejected_knowledge += 1
+        stats.violations.append(
+            ProtocolViolation(
+                kind=VIOLATION_KNOWLEDGE_FABRICATION,
+                peer=request.target_id.name,
+                observer=own.name,
+                detail=(
+                    f"claims counter {claimed} of {own.name}, "
+                    f"but only {authored} were ever authored"
+                ),
+            )
+        )
+        knowledge = knowledge.clamped(own, authored)
+    return knowledge
 
 
 def build_batch(
@@ -174,15 +250,16 @@ def build_batch(
     """
     stats = SyncStats(source=source.replica_id, target=request.target_id)
     source.policy.process_req(request.routing_state, context)
+    knowledge = validate_request_knowledge(source, request, stats)
 
     stats.store_size = source.replica.stored_count
     if use_index:
-        unknown = source.replica.items_unknown_to(request.knowledge)
+        unknown = source.replica.items_unknown_to(knowledge)
         cache = source.replica.filter_cache
         hits, misses, invalidations = cache.hits, cache.misses, cache.invalidations
         matches = lambda item: cache.matches(request.filter, item)  # noqa: E731
     else:
-        unknown = source.replica.items_unknown_to_scan(request.knowledge)
+        unknown = source.replica.items_unknown_to_scan(knowledge)
         matches = request.filter.matches
     stats.candidates = len(unknown)
     stats.index_skipped = stats.store_size - stats.candidates
@@ -256,18 +333,112 @@ def apply_batch(
     :meth:`~repro.replication.replica.Replica.apply_remote` raises; over a
     lossy channel duplicated delivery is expected, so known versions are
     counted as redundant receptions and skipped.
+
+    Over a faulty channel the receive path is *hardened*, per entry:
+
+    * a frame that is not a :class:`BatchEntry` is run through the codec;
+      an undecodable frame is quarantined (counted, reported as a
+      ``malformed-entry`` violation, skipped) instead of aborting the
+      remainder of the batch;
+    * an entry carrying a checksum that does not match its item's content
+      is quarantined as ``checksum-mismatch``;
+    * a version already known *before this batch began* is a replayed
+      frame (an honest source filters against our knowledge), reported as
+      a ``replay`` violation — versions first seen earlier in the same
+      delivery are benign channel duplicates;
+    * two entries in one delivery carrying the same version but different
+      content are a ``version-conflict``; the later one is quarantined.
+
+    Quarantined entries never reach :meth:`apply_remote`, so the target's
+    knowledge does not cover them and the sender re-offers the real item
+    at the next contact — corruption costs latency, never correctness.
     """
-    for entry in batch:
+    snapshot = target.replica.knowledge.copy() if tolerate_duplicates else None
+    seen_checksums: Dict[Any, Optional[str]] = {}
+    for frame in batch:
+        entry = frame
+        if not isinstance(entry, BatchEntry):
+            entry = _decode_frame(frame, target, stats)
+            if entry is None:
+                continue
+        checksum = entry.checksum
+        if checksum is not None and item_checksum(entry.item) != checksum:
+            stats.quarantined_entries += 1
+            stats.violations.append(
+                ProtocolViolation(
+                    kind=VIOLATION_CHECKSUM_MISMATCH,
+                    peer=stats.source.name,
+                    observer=target.replica_id.name,
+                    detail=f"item {entry.item.item_id} failed its checksum",
+                )
+            )
+            continue
+        key = (entry.item.item_id, entry.item.version)
         if tolerate_duplicates and target.replica.knowledge.contains(
             entry.item.version
         ):
             stats.redundant_received += 1
+            if key in seen_checksums:
+                earlier = seen_checksums[key]
+                if (
+                    checksum is not None
+                    and earlier is not None
+                    and checksum != earlier
+                ):
+                    stats.quarantined_entries += 1
+                    stats.violations.append(
+                        ProtocolViolation(
+                            kind=VIOLATION_VERSION_CONFLICT,
+                            peer=stats.source.name,
+                            observer=target.replica_id.name,
+                            detail=(
+                                f"two contents for version "
+                                f"{entry.item.version}"
+                            ),
+                        )
+                    )
+            elif snapshot is not None and snapshot.contains(
+                entry.item.version
+            ):
+                # Known before the batch began: an honest source filters
+                # against our knowledge, so this frame was replayed.
+                stats.violations.append(
+                    ProtocolViolation(
+                        kind=VIOLATION_REPLAY,
+                        peer=stats.source.name,
+                        observer=target.replica_id.name,
+                        detail=f"replayed {entry.item.version}",
+                    )
+                )
+            seen_checksums.setdefault(key, checksum)
             continue
+        seen_checksums[key] = checksum
         matched = target.replica.apply_remote(entry.item)
         stats.received_total += 1
         if matched:
             stats.delivered_items.append(entry.item)
     return stats
+
+
+def _decode_frame(
+    frame: Any, target: SyncEndpoint, stats: SyncStats
+) -> Optional[BatchEntry]:
+    """Decode a raw wire frame; quarantine (and return None) on failure."""
+    from .codec import CodecError, decode_batch_entry
+
+    try:
+        return decode_batch_entry(frame)
+    except CodecError as error:
+        stats.quarantined_entries += 1
+        stats.violations.append(
+            ProtocolViolation(
+                kind=VIOLATION_MALFORMED_ENTRY,
+                peer=stats.source.name,
+                observer=target.replica_id.name,
+                detail=str(error)[:120],
+            )
+        )
+        return None
 
 
 def _each_entry_once(delivered: List[BatchEntry]) -> List[BatchEntry]:
@@ -300,10 +471,19 @@ def perform_sync(
     which the target tolerates and counts as redundant receptions.
 
     ``on_items_sent`` fires only for entries the channel actually carried
-    (each once, however many times it was duplicated): a policy that
-    releases its stored copy on hand-off (First Contact) or spends a copy
-    budget (Spray and Wait) must not pay for items lost in transit —
-    those stay stored and re-offerable, preserving monotone progress.
+    *intact* (each once, however many times it was duplicated): a policy
+    that releases its stored copy on hand-off (First Contact) or spends a
+    copy budget (Spray and Wait) must not pay for items lost, corrupted,
+    or mangled in transit — those stay stored and re-offerable,
+    preserving monotone progress. A transport reporting a ``confirmed``
+    list (see :class:`repro.faults.DeliveryOutcome`) provides exactly that
+    set; transports without one fall back to the delivered stream.
+
+    Over a faulty channel every outgoing entry is stamped with its
+    content checksum, and a transport exposing ``corrupt_request`` gets
+    to tamper with the sync request before the source sees it (modelling
+    fabricated knowledge) — the hardened :func:`build_batch` /
+    :func:`apply_batch` paths detect both.
     """
     target_context = SyncContext(
         local=target.replica_id, remote=source.replica_id, now=now
@@ -312,6 +492,8 @@ def perform_sync(
         local=source.replica_id, remote=target.replica_id, now=now
     )
     request = build_request(target, target_context)
+    if transport is not None and hasattr(transport, "corrupt_request"):
+        request = transport.corrupt_request(request)
     batch, stats = build_batch(
         source, request, source_context, max_items=max_items, use_index=use_index
     )
@@ -320,10 +502,18 @@ def perform_sync(
             [entry.item for entry in batch], source_context
         )
         return apply_batch(target, batch, stats)
-    outcome = transport.deliver(batch)
+    stamped = [
+        replace(entry, checksum=item_checksum(entry.item)) for entry in batch
+    ]
+    outcome = transport.deliver(stamped)
     stats.interrupted = outcome.truncated
     stats.lost_in_transit = outcome.lost
-    delivered_once = _each_entry_once(outcome.delivered)
+    confirmed = getattr(outcome, "confirmed", None)
+    if confirmed is None:
+        confirmed = outcome.delivered
+    delivered_once = _each_entry_once(
+        [entry for entry in confirmed if isinstance(entry, BatchEntry)]
+    )
     source.policy.on_items_sent(
         [entry.item for entry in delivered_once], source_context
     )

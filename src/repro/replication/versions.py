@@ -175,6 +175,29 @@ class VersionVector:
         result.merge(other)
         return result
 
+    def clamped(self, replica: ReplicaId, maximum: int) -> "VersionVector":
+        """A copy whose entry for ``replica`` keeps only counters ≤ ``maximum``.
+
+        Used by protocol validation to sanitise fabricated knowledge: a
+        peer claiming to know versions a replica never authored gets its
+        claim clipped to the authored range before the claim is used for
+        anything. Returns ``self`` unchanged when nothing exceeds the
+        bound, so the honest path allocates nothing.
+        """
+        entry = self._entries.get(replica)
+        if entry is None or (
+            entry.prefix <= maximum
+            and all(counter <= maximum for counter in entry.extras)
+        ):
+            return self
+        clamp = self.copy()
+        clamp._detach()
+        clamp._entries[replica] = _Entry.canonical(
+            min(entry.prefix, maximum),
+            (counter for counter in entry.extras if counter <= maximum),
+        )
+        return clamp
+
     def dominates(self, other: "VersionVector") -> bool:
         """True if every version in ``other`` is contained in ``self``."""
         for replica, other_entry in other._entries.items():

@@ -1,0 +1,126 @@
+"""Tests for the sweep watchdog: per-run timeouts and hung/crashed workers.
+
+The timeout tests use a timeout far below any real run's startup cost, so
+every worker is deterministically overdue — no sleeps or races. The crash
+test injects a worker entry point that dies without reporting, which is
+indistinguishable from an OOM-kill as far as the parent can see.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.store import RunStore, run_id_for
+from repro.experiments.sweep import _run_parallel, expand_grid, run_sweep
+
+BASE = ExperimentConfig(scale=0.25)
+
+
+def _crashy_worker(payload, queue):
+    """A worker that dies before reporting anything (spawn target)."""
+    os._exit(13)
+
+
+class TestTimeout:
+    def test_timeout_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="timeout_s"):
+            run_sweep(
+                [BASE], store=RunStore(tmp_path / "runs"), timeout_s=0.0
+            )
+
+    def test_overdue_runs_become_failed_outcomes_with_sidecars(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        grid = expand_grid(BASE, seeds=[0, 1])
+        events = []
+        report = run_sweep(
+            grid,
+            store=store,
+            workers=2,
+            timeout_s=0.001,  # far below spawn startup: always overdue
+            progress=events.append,
+        )
+        assert report.failed == 2
+        assert report.completed == 0
+        for outcome in report.outcomes:
+            assert outcome.status == "failed"
+            assert "timed out" in outcome.error
+            failure = store.load_failure(outcome.run_id)
+            assert failure is not None
+            assert failure["status"] == "failed"
+            assert "timed out" in failure["error"]
+            assert not store.path_for(outcome.run_id).exists()
+        # The manifest distinguishes "failed" from "never attempted".
+        statuses = store.validate_manifest(report.sweep_id)
+        assert set(statuses.values()) == {"failed"}
+        kinds = [event.kind for event in events]
+        assert kinds.count("started") == 2
+        assert kinds.count("failed") == 2
+
+    def test_resume_retries_failed_runs_and_clears_sidecars(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        grid = expand_grid(BASE, seeds=[0, 1])
+        first = run_sweep(grid, store=store, workers=2, timeout_s=0.001)
+        assert first.failed == 2
+
+        # Same grid, watchdog disarmed: resume retries the failed runs
+        # (their artifacts never existed) and success clears the sidecars.
+        second = run_sweep(grid, store=store, workers=1)
+        assert second.completed == 2
+        assert second.reused == 0
+        for config in grid:
+            run_id = run_id_for(config)
+            assert store.has(config)
+            assert store.load_failure(run_id) is None
+        statuses = store.validate_manifest(second.sweep_id)
+        assert set(statuses.values()) == {"ok"}
+
+    def test_timeout_forces_watchdog_even_for_one_worker(self, tmp_path):
+        """workers=1 with a timeout must still run out-of-process — a hung
+        run cannot be killed from inside its own process."""
+        store = RunStore(tmp_path / "runs")
+        report = run_sweep(
+            [BASE], store=store, workers=1, timeout_s=0.001
+        )
+        assert report.failed == 1
+        assert "timed out" in report.outcomes[0].error
+
+    def test_generous_timeout_does_not_fire(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        report = run_sweep([BASE], store=store, workers=1, timeout_s=600.0)
+        assert report.completed == 1
+        assert report.failed == 0
+        assert store.load_failure(run_id_for(BASE)) is None
+
+    def test_failure_sidecars_hidden_from_run_listing(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        store.record_failure("epidemic-deadbeef", "epidemic", "boom")
+        assert store.list_run_ids() == []
+        assert store.load_failure("epidemic-deadbeef")["error"] == "boom"
+        store.clear_failure("epidemic-deadbeef")
+        assert store.load_failure("epidemic-deadbeef") is None
+
+
+class TestCrashedWorker:
+    def test_dead_worker_without_result_is_settled_as_failed(self):
+        payloads = [
+            {
+                "run_id": "epidemic-cafebabe",
+                "label": "epidemic",
+                "config": BASE.to_dict(),
+                "extra_days": 0,
+            }
+        ]
+        settled = []
+        _run_parallel(
+            payloads,
+            workers=1,
+            emit=lambda *args, **kwargs: None,
+            settle=lambda payload, raw: settled.append((payload, raw)),
+            worker=_crashy_worker,
+        )
+        assert len(settled) == 1
+        payload, raw = settled[0]
+        assert payload["run_id"] == "epidemic-cafebabe"
+        assert "crashed" in raw["error"]
+        assert "13" in raw["error"]

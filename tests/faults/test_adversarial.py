@@ -1,0 +1,259 @@
+"""Unit tests for the adversarial fault models and their transport wiring."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    CORRUPTED_PAYLOAD,
+    REPLAY_POOL_LIMIT,
+    FaultConfig,
+    FaultInjector,
+    FaultyTransport,
+    FrameReplay,
+    KnowledgeFabrication,
+    MalformedFrame,
+    PayloadCorruption,
+)
+from repro.replication import (
+    AddressFilter,
+    Replica,
+    ReplicaId,
+    SyncEndpoint,
+)
+from repro.replication.integrity import item_checksum
+from repro.replication.ids import Version
+from repro.replication.routing import SyncContext
+from repro.replication.sync import BatchEntry, build_batch, build_request
+
+
+def make_batch(count=3, source_name="bob", target_name="alice"):
+    source = SyncEndpoint(
+        Replica(ReplicaId(source_name), AddressFilter(source_name))
+    )
+    target = SyncEndpoint(
+        Replica(ReplicaId(target_name), AddressFilter(target_name))
+    )
+    for i in range(count):
+        source.replica.create_item(f"m{i}", {"destination": target_name})
+    context = SyncContext(
+        local=target.replica_id, remote=source.replica_id, now=0.0
+    )
+    request = build_request(target, context)
+    batch, _ = build_batch(source, request, context)
+    stamped = [
+        BatchEntry(
+            entry.item,
+            entry.matched_filter,
+            entry.priority,
+            checksum=item_checksum(entry.item),
+        )
+        for entry in batch
+    ]
+    return stamped, source, target, request
+
+
+class TestModels:
+    @pytest.mark.parametrize(
+        "model, method, args",
+        [
+            (PayloadCorruption(0.0), "corrupt_mask", (5,)),
+            (MalformedFrame(0.0), "malform_mask", (5,)),
+            (FrameReplay(0.0), "plan_replay", (5,)),
+        ],
+    )
+    def test_zero_probability_draws_nothing(self, model, method, args):
+        rng = random.Random(1)
+        before = rng.getstate()
+        result = getattr(model, method)(*args, rng)
+        assert not any(result) if isinstance(result, list) else True
+        assert rng.getstate() == before
+
+    def test_fabrication_zero_probability_draws_nothing(self):
+        rng = random.Random(1)
+        before = rng.getstate()
+        assert KnowledgeFabrication(0.0).inflate_by(rng) == 0
+        assert rng.getstate() == before
+
+    def test_corruption_certain_hits_every_copy(self):
+        mask = PayloadCorruption(1.0).corrupt_mask(4, random.Random(2))
+        assert mask == [True] * 4
+
+    def test_replay_sample_is_sorted_in_range_and_bounded(self):
+        model = FrameReplay(1.0, maximum_entries=3)
+        rng = random.Random(3)
+        for _ in range(50):
+            plan = model.plan_replay(10, rng)
+            assert plan == sorted(plan)
+            assert 1 <= len(plan) <= 3
+            assert all(0 <= index < 10 for index in plan)
+            assert len(set(plan)) == len(plan)
+
+    def test_replay_empty_pool_never_fires(self):
+        assert FrameReplay(1.0).plan_replay(0, random.Random(1)) == []
+
+    def test_fabrication_inflation_bounded(self):
+        model = KnowledgeFabrication(1.0, maximum_inflation=4)
+        rng = random.Random(5)
+        draws = {model.inflate_by(rng) for _ in range(100)}
+        assert draws <= {1, 2, 3, 4}
+        assert len(draws) > 1
+
+    def test_describe_carries_knobs(self):
+        assert FrameReplay(0.5, maximum_entries=7).describe()[
+            "maximum_entries"
+        ] == 7
+        assert KnowledgeFabrication(0.5, maximum_inflation=9).describe()[
+            "maximum_inflation"
+        ] == 9
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: FrameReplay(0.5, maximum_entries=0),
+            lambda: KnowledgeFabrication(0.5, maximum_inflation=0),
+            lambda: PayloadCorruption(1.5),
+        ],
+    )
+    def test_invalid_knobs_rejected(self, build):
+        with pytest.raises(ValueError):
+            build()
+
+
+class TestConfig:
+    def test_adversarial_probabilities_arm_the_config(self):
+        config = FaultConfig(corruption_probability=0.1)
+        assert config.enabled
+        assert config.has_adversarial_faults
+        assert config.has_transport_faults
+
+    def test_defaults_are_disarmed(self):
+        config = FaultConfig()
+        assert not config.has_adversarial_faults
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"corruption_probability": -0.1},
+            {"replay_probability": 1.1},
+            {"fabrication_probability": 2.0},
+            {"malformed_probability": -1.0},
+            {"suspect_threshold": 0},
+            {"quarantine_threshold": 0},
+            {"quarantine_backoff_base": 0.0},
+            {"quarantine_backoff_factor": 0.5},
+            {"quarantine_backoff_max": 1.0},
+            {"quarantine_jitter": 1.0},
+            {"recovery_probes": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            FaultConfig(**overrides)
+
+
+class TestTransportPipeline:
+    def test_corruption_damages_copies_but_keeps_checksums(self):
+        batch, *_ = make_batch(3)
+        transport = FaultyTransport(
+            random.Random(1), corruption=PayloadCorruption(1.0)
+        )
+        outcome = transport.deliver(batch)
+        assert outcome.corrupted == 3
+        assert outcome.confirmed == []
+        for original, wire in zip(batch, outcome.delivered):
+            assert wire.item.payload == CORRUPTED_PAYLOAD
+            assert wire.checksum == item_checksum(original.item)
+            assert item_checksum(wire.item) != wire.checksum
+
+    def test_malformed_frames_are_undecodable_garbage(self):
+        batch, *_ = make_batch(2)
+        transport = FaultyTransport(
+            random.Random(1), malformed=MalformedFrame(1.0)
+        )
+        outcome = transport.deliver(batch)
+        assert outcome.malformed == 2
+        assert outcome.confirmed == []
+        assert all(not isinstance(w, BatchEntry) for w in outcome.delivered)
+
+    def test_replay_appends_pool_entries_after_genuine_stream(self):
+        batch, *_ = make_batch(2)
+        stale, *_ = make_batch(1, source_name="bob", target_name="carol")
+        pool = list(stale)
+        transport = FaultyTransport(
+            random.Random(1),
+            replay=FrameReplay(1.0),
+            replay_pool=pool,
+        )
+        outcome = transport.deliver(batch)
+        assert outcome.replayed >= 1
+        assert outcome.delivered[: len(batch)] == batch
+        assert outcome.delivered[len(batch)] in stale
+        # The genuine deliveries were confirmed and fed back into the pool.
+        assert outcome.confirmed == batch
+        assert pool[-len(batch) :] == batch
+
+    def test_replay_pool_is_bounded(self):
+        pool = []
+        transport = FaultyTransport(
+            random.Random(1),
+            replay=FrameReplay(0.0001),  # armed, but effectively never fires
+            replay_pool=pool,
+        )
+        for _ in range(10):
+            batch, *_ = make_batch(5)
+            transport.deliver(batch)
+        assert len(pool) <= REPLAY_POOL_LIMIT
+
+    def test_corrupt_request_inflates_only_a_copy(self):
+        batch, source, target, request = make_batch(1)
+        transport = FaultyTransport(
+            random.Random(1),
+            fabrication=KnowledgeFabrication(1.0, maximum_inflation=3),
+            source_id=source.replica_id,
+        )
+        before = request.knowledge.copy()
+        tampered = transport.corrupt_request(request)
+        assert tampered is not request
+        claimed = max(
+            tampered.knowledge.known_counter_prefix(source.replica_id),
+            max(
+                tampered.knowledge.extra_counters(source.replica_id),
+                default=0,
+            ),
+        )
+        assert claimed >= 1
+        # The original request object and vector are untouched.
+        assert request.knowledge == before
+        assert not request.knowledge.contains(Version(source.replica_id, 1))
+
+    def test_injector_counts_channel_events(self):
+        config = FaultConfig(
+            corruption_probability=1.0, fabrication_probability=1.0
+        )
+        injector = FaultInjector(config, seed=3)
+        transport = injector.transport("bob", "alice")
+        batch, source, target, request = make_batch(2)
+        transport.corrupt_request(request)
+        transport.deliver(batch)
+        assert injector.counters.fabricated_requests == 1
+        assert injector.counters.corrupted_entries == 2
+
+    def test_injector_without_link_names_still_works(self):
+        """Backward compatibility: truncation/duplication-only callers pass
+        no link names and must keep getting a transport."""
+        config = FaultConfig(truncation_probability=0.5)
+        injector = FaultInjector(config, seed=1)
+        assert injector.transport() is not None
+
+    def test_replay_pools_are_per_directed_link(self):
+        config = FaultConfig(replay_probability=1.0)
+        injector = FaultInjector(config, seed=1)
+        injector.transport("a", "b")
+        injector.transport("b", "a")
+        assert ("a", "b") in injector._replay_pools
+        assert ("b", "a") in injector._replay_pools
+        assert (
+            injector._replay_pools[("a", "b")]
+            is not injector._replay_pools[("b", "a")]
+        )
