@@ -31,7 +31,9 @@ Groups:
   :data:`PAPER_POLICY_ORDER`.
 * **Faults** — :class:`FaultConfig`.
 * **Integrity** — :class:`ProtocolViolation`, :class:`PeerHealthTracker`
-  (the hardened-sync layer; see ``docs/protocol.md`` §7).
+  (the hardened-sync layer; see ``docs/protocol.md`` §7),
+  :class:`ChecksumCache` (the content-addressed checksum cache every
+  replica carries; see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -61,10 +63,11 @@ from repro.experiments.sweep import (
     run_sweep,
 )
 from repro.faults.config import FaultConfig
-from repro.replication.integrity import ProtocolViolation
+from repro.replication.integrity import ChecksumCache, ProtocolViolation
 from repro.replication.peer_health import PeerHealthTracker
 
 __all__ = [
+    "ChecksumCache",
     "ExperimentConfig",
     "ExperimentResult",
     "FaultConfig",

@@ -23,6 +23,10 @@ Usage (installed as ``python -m repro``):
     python -m repro bench sync [--nodes N] [--items M] [--encounters E]
                                [--seed S] [--output PATH]
                                [--min-reduction R]
+    python -m repro bench encounter [--nodes N] [--items M] [--encounters E]
+                                    [--seed S] [--duplicate-every N]
+                                    [--output PATH] [--min-reduction R]
+                                    [--profile PATH]
     python -m repro bench sweep [--workers N] [--scale S]
                                 [--policies P ...] [--seeds N ...]
                                 [--output PATH] [--min-speedup X]
@@ -221,7 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser(
         "bench", help="run a micro-benchmark and record its JSON artifact"
     )
-    bench.add_argument("which", choices=("sync", "sweep"))
+    bench.add_argument("which", choices=("sync", "encounter", "sweep"))
     bench.add_argument("--nodes", type=int, default=50)
     bench.add_argument("--items", type=int, default=5000)
     bench.add_argument("--encounters", type=int, default=10000)
@@ -238,12 +242,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--output", type=pathlib.Path, default=None,
         help="where to write the JSON artifact "
-             "(default ./BENCH_sync.json / ./BENCH_sweep.json)",
+             "(default ./BENCH_sync.json / ./BENCH_encounter.json / "
+             "./BENCH_sweep.json)",
     )
     bench.add_argument(
         "--min-reduction", type=float, default=None, metavar="R",
         help="[sync] fail (exit 1) unless items-scanned-per-encounter "
-             "improved by at least this factor over the full-scan baseline",
+             "improved by at least this factor over the full-scan baseline; "
+             "[encounter] same gate, over checksum computations",
+    )
+    bench.add_argument(
+        "--duplicate-every", type=int, default=7, metavar="N",
+        help="[encounter] deterministically deliver every Nth entry twice "
+             "(0 disables) — exercises redundant receipts",
+    )
+    bench.add_argument(
+        "--profile", type=pathlib.Path, default=None, metavar="PATH",
+        help="[encounter] additionally re-run the cached leg under cProfile "
+             "and dump the stats to PATH (pstats format)",
     )
     bench.add_argument(
         "--workers", type=int, default=4, metavar="N",
@@ -564,6 +580,8 @@ def cmd_tables(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.which == "sweep":
         return _cmd_bench_sweep(args)
+    if args.which == "encounter":
+        return _cmd_bench_encounter(args)
     return _cmd_bench_sync(args)
 
 
@@ -607,6 +625,65 @@ def _cmd_bench_sweep(args: argparse.Namespace) -> int:
         print(
             f"error: sweep speedup {speedup:.2f}x is below the required "
             f"{args.min_speedup:.2f}x (machine has {report['cpu_count']} CPUs)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench_encounter(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_encounter import (
+        EncounterBenchConfig,
+        encounter_bench_equivalent,
+        run_encounter_bench,
+        write_encounter_bench,
+    )
+
+    try:
+        config = EncounterBenchConfig(
+            nodes=args.nodes,
+            items=args.items,
+            encounters=args.encounters,
+            seed=args.seed,
+            max_items_per_encounter=args.bandwidth_limit,
+            duplicate_every=args.duplicate_every,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_encounter_bench(config, profile=args.profile)
+    path = write_encounter_bench(
+        report, args.output or pathlib.Path("BENCH_encounter.json")
+    )
+    cached = report["cached"]
+    uncached = report["uncached"]
+    reduction = report["reduction_factor_checksum_computations"]
+    print(f"encounter bench: {args.nodes} nodes, {args.items} items, "
+          f"{args.encounters} encounters (seed {args.seed})")
+    print(f"{'checksums / encounter':>28} | "
+          f"cached {cached['checksum_computations_per_encounter']:>10.2f} | "
+          f"uncached {uncached['checksum_computations_per_encounter']:>10.2f}")
+    print(f"{'wall clock / 1k encounters':>28} | "
+          f"cached {cached['wall_clock_s_per_1k_encounters']:>9.3f}s | "
+          f"uncached {uncached['wall_clock_s_per_1k_encounters']:>9.3f}s")
+    print(f"{'reduction factor':>28} | {reduction:.2f}x checksums, "
+          f"{report['speedup_wall_clock']:.2f}x wall clock")
+    equivalence = report["equivalence"]
+    print(f"{'equivalence':>28} | "
+          f"identical batches: {equivalence['identical_batches']}, "
+          f"received match: {equivalence['received_match']}, "
+          f"knowledge match: {equivalence['final_knowledge_match']}")
+    print(f"artifact written to {path}")
+    if args.profile is not None:
+        print(f"profile written to {args.profile}")
+    if not encounter_bench_equivalent(report):
+        print("error: cached and uncached runs diverged", file=sys.stderr)
+        return 1
+    if args.min_reduction is not None and reduction < args.min_reduction:
+        print(
+            f"error: checksum reduction {reduction:.2f}x is below the "
+            f"required {args.min_reduction:.2f}x — the integrity cache has "
+            "regressed toward per-hop recomputation",
             file=sys.stderr,
         )
         return 1

@@ -301,7 +301,12 @@ class MaxPropPolicy(DTNPolicy):
         return Priority(PriorityClass.NORMAL, cost)
 
     def prepare_outgoing(self, item: Item, context: SyncContext) -> Item:
-        """Extend the copy's hop list with this node before it ships."""
+        """Extend the copy's hop list with this node before it ships.
+
+        When the copy already carries exactly the outgoing hop list (this
+        node was already recorded, nothing else host-local), it ships
+        unchanged — no reallocation.
+        """
         stored = self.replica.get_item(item.item_id)
         hops: Tuple[str, ...] = ()
         if stored is not None:
@@ -309,5 +314,7 @@ class MaxPropPolicy(DTNPolicy):
         me = self.replica.replica_id.name
         if me not in hops:
             hops = hops + (me,)
-        outgoing = item.without_local()
-        return outgoing.with_local(**{HOPLIST_ATTRIBUTE: hops})
+        local = item.local_attributes
+        if len(local) == 1 and local.get(HOPLIST_ATTRIBUTE) == hops:
+            return item
+        return item.without_local().with_local(**{HOPLIST_ATTRIBUTE: hops})

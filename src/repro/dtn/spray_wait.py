@@ -70,15 +70,21 @@ class SprayAndWaitPolicy(DTNPolicy):
 
     def prepare_outgoing(self, item: Item, context: SyncContext) -> Item:
         stored = self.replica.get_item(item.item_id)
-        outgoing = item.without_local()
         if stored is None:
-            return outgoing
+            return item.without_local()
         copies = stored.local(COPIES_ATTRIBUTE)
         if copies is None or int(copies) < 2:
             # A delivery (or a message never sprayed): hand over a single
             # terminal copy; the stored budget is untouched.
-            return outgoing.with_local(**{COPIES_ATTRIBUTE: 1})
-        return outgoing.with_local(**{COPIES_ATTRIBUTE: int(copies) // 2})
+            shipped = 1
+        else:
+            shipped = int(copies) // 2
+        local = item.local_attributes
+        if len(local) == 1 and local.get(COPIES_ATTRIBUTE) == shipped:
+            # Identity fast path — the wait-phase common case: the stored
+            # single-copy state is exactly what goes on the wire.
+            return item
+        return item.without_local().with_local(**{COPIES_ATTRIBUTE: shipped})
 
     def on_items_sent(self, items: List[Item], context: SyncContext) -> None:
         """Halve the stored budget of every *delivered* spray (keep ⌈n/2⌉).

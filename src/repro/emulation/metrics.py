@@ -128,6 +128,12 @@ class MetricsCollector:
     filter_cache_hits: int = 0
     filter_cache_misses: int = 0
     filter_cache_invalidations: int = 0
+    # Content-addressed integrity-cache accounting (zero on perfect
+    # channels, which compute no checksums): how the per-replica checksum
+    # caches fared across send-side stamping and receive-side verification.
+    checksum_cache_hits: int = 0
+    checksum_cache_misses: int = 0
+    checksum_cache_invalidations: int = 0
     end_time: float = 0.0
 
     # -- recording ------------------------------------------------------------------
@@ -174,6 +180,9 @@ class MetricsCollector:
         self.filter_cache_hits += stats.filter_cache_hits
         self.filter_cache_misses += stats.filter_cache_misses
         self.filter_cache_invalidations += stats.filter_cache_invalidations
+        self.checksum_cache_hits += stats.checksum_cache_hits
+        self.checksum_cache_misses += stats.checksum_cache_misses
+        self.checksum_cache_invalidations += stats.checksum_cache_invalidations
         self.quarantined_entries += stats.quarantined_entries
         self.rejected_knowledge += stats.rejected_knowledge
         for violation in stats.violations:
@@ -404,6 +413,11 @@ class MetricsCollector:
             "filter_cache_hits": float(self.filter_cache_hits),
             "filter_cache_misses": float(self.filter_cache_misses),
             "filter_cache_invalidations": float(self.filter_cache_invalidations),
+            "checksum_cache_hits": float(self.checksum_cache_hits),
+            "checksum_cache_misses": float(self.checksum_cache_misses),
+            "checksum_cache_invalidations": float(
+                self.checksum_cache_invalidations
+            ),
             "mean_copies_at_delivery": (
                 self.mean_copies_at_delivery() or float("nan")
             ),

@@ -1,0 +1,297 @@
+"""End-to-end benchmark of the encounter pipeline's integrity cache.
+
+``repro bench encounter`` replays a seeded flooding schedule through the
+*transport* path of :func:`~repro.replication.sync.perform_encounter` —
+the path that stamps and verifies content checksums on every entry —
+twice: once with the content-addressed checksum cache (the production
+default) and once with ``use_cache=False``, which recomputes every
+checksum exactly as the pipeline did before the cache existed.
+
+The quantity measured is honest work, not cache bookkeeping: the
+integrity module counts every actual serialise-and-hash computation
+(:func:`~repro.replication.integrity.checksum_computations`), so the
+reduction factor is "hashes the cache avoided", independent of how the
+avoidance was achieved.
+
+Equivalence is proven in-run, not assumed:
+
+* **batch-level** — the channel folds every delivered entry (id, version,
+  declared checksum, filter flag, priority) into a running SHA-256; the
+  two runs must produce the same digest, i.e. byte-identical traffic;
+* **final-state** — final per-replica knowledge and the delivery counters
+  (transmissions, receipts, redundant receipts) must match.
+
+The channel delivers in order and intact — corruption handling is the
+adversarial suites' job — but deterministically *duplicates* every Nth
+entry (no RNG, so both runs see the identical schedule), which exercises
+the receive path's redundancy handling and the verified-triple cache.
+
+The scenario reuses the ``repro bench sync`` generator: same flooding
+shape, same seeds, so the two artifacts describe the same workload.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import json
+import pathlib
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.replication import integrity
+from repro.replication.sync import BatchEntry, perform_encounter
+
+from .bench import (
+    SyncBenchConfig,
+    _build_population,
+    _draw_schedule,
+    _knowledge_digest,
+    _Schedule,
+)
+
+
+@dataclass(frozen=True)
+class EncounterBenchConfig:
+    """Shape of the synthetic workload (defaults: the recorded artifact)."""
+
+    nodes: int = 50
+    items: int = 5000
+    encounters: int = 10000
+    seed: int = 7
+    max_items_per_encounter: Optional[int] = None
+    #: Deterministically deliver every Nth entry twice (0 disables);
+    #: exercises redundant receipts without consuming any randomness.
+    duplicate_every: int = 7
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise ValueError("bench needs at least 2 nodes")
+        if self.items < 1 or self.encounters < 1:
+            raise ValueError("bench needs at least 1 item and 1 encounter")
+        if self.duplicate_every < 0:
+            raise ValueError("duplicate_every must be >= 0")
+
+    def _schedule_config(self) -> SyncBenchConfig:
+        return SyncBenchConfig(
+            nodes=self.nodes,
+            items=self.items,
+            encounters=self.encounters,
+            seed=self.seed,
+            max_items_per_encounter=self.max_items_per_encounter,
+            verify_every=0,
+        )
+
+
+@dataclass
+class _Delivery:
+    """Duck-typed delivery outcome (see ``perform_sync``'s transport use)."""
+
+    delivered: List[Any]
+    truncated: bool = False
+    lost: int = 0
+
+
+class _DigestingChannel:
+    """An intact, in-order channel that fingerprints everything it carries.
+
+    Stamped entries pass through unchanged (so checksums are exercised
+    end to end); every ``duplicate_every``-th entry is delivered twice in
+    a row. The running SHA-256 covers exactly what the receiver sees —
+    including each entry's declared checksum — so equal digests between
+    two runs mean byte-identical batches.
+    """
+
+    def __init__(self, duplicate_every: int) -> None:
+        self._duplicate_every = duplicate_every
+        self._count = 0
+        self._digest = hashlib.sha256()
+
+    def deliver(self, batch: Sequence[Any]) -> _Delivery:
+        delivered: List[Any] = []
+        for entry in batch:
+            delivered.append(entry)
+            self._count += 1
+            if self._duplicate_every and self._count % self._duplicate_every == 0:
+                delivered.append(entry)
+        for entry in delivered:
+            self._fold(entry)
+        return _Delivery(delivered=delivered)
+
+    def _fold(self, entry: BatchEntry) -> None:
+        record = (
+            str(entry.item.item_id),
+            str(entry.item.version),
+            entry.checksum,
+            entry.matched_filter,
+            int(entry.priority.class_),
+            entry.priority.cost,
+        )
+        self._digest.update(repr(record).encode("utf-8"))
+
+    @property
+    def entries_carried(self) -> int:
+        return self._count
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
+
+
+@dataclass
+class _RunResult:
+    checksum_computations: int = 0
+    transmissions: int = 0
+    received_total: int = 0
+    redundant_received: int = 0
+    delivered_entries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    wall_clock_s: float = 0.0
+    batch_digest: str = ""
+    knowledge_digest: Tuple = field(default_factory=tuple)
+
+    def as_report(self, config: EncounterBenchConfig) -> dict:
+        return {
+            "checksum_computations": self.checksum_computations,
+            "checksum_computations_per_encounter": (
+                self.checksum_computations / config.encounters
+            ),
+            "transmissions": self.transmissions,
+            "received_total": self.received_total,
+            "redundant_received": self.redundant_received,
+            "checksum_cache_hits": self.cache_hits,
+            "checksum_cache_misses": self.cache_misses,
+            "checksum_cache_invalidations": self.cache_invalidations,
+            "wall_clock_s": round(self.wall_clock_s, 4),
+            "wall_clock_s_per_1k_encounters": round(
+                self.wall_clock_s * 1000.0 / config.encounters, 4
+            ),
+        }
+
+
+def _run(
+    config: EncounterBenchConfig, schedule: _Schedule, use_cache: bool
+) -> _RunResult:
+    endpoints = _build_population(config._schedule_config())
+    channel = _DigestingChannel(config.duplicate_every)
+    factory = lambda source_id, target_id: channel  # noqa: E731
+    result = _RunResult()
+    computations_before = integrity.checksum_computations()
+    started = time.perf_counter()
+    for index, (a, b) in enumerate(schedule.pairs):
+        for author, destination in schedule.authored_before.get(index, ()):
+            endpoints[author].replica.create_item(
+                payload=f"m{index}",
+                attributes={
+                    "destination": f"bench-{destination:03d}",
+                    "source": f"bench-{author:03d}",
+                },
+            )
+        stats_pair = perform_encounter(
+            endpoints[a],
+            endpoints[b],
+            now=float(index),
+            max_items_per_encounter=config.max_items_per_encounter,
+            transport_factory=factory,
+            use_cache=use_cache,
+        )
+        for stats in stats_pair:
+            result.transmissions += stats.sent_total
+            result.received_total += stats.received_total
+            result.redundant_received += stats.redundant_received
+            result.cache_hits += stats.checksum_cache_hits
+            result.cache_misses += stats.checksum_cache_misses
+            result.cache_invalidations += stats.checksum_cache_invalidations
+    result.wall_clock_s = time.perf_counter() - started
+    result.checksum_computations = (
+        integrity.checksum_computations() - computations_before
+    )
+    result.delivered_entries = channel.entries_carried
+    result.batch_digest = channel.hexdigest()
+    result.knowledge_digest = _knowledge_digest(endpoints)
+    return result
+
+
+def run_encounter_bench(
+    config: EncounterBenchConfig = EncounterBenchConfig(),
+    profile: Optional[Union[str, pathlib.Path]] = None,
+) -> dict:
+    """Run both modes over the same schedule and build the report dict.
+
+    ``profile``, when given, re-runs the *cached* leg once more under
+    :mod:`cProfile` and dumps the stats there — a separate pass, so the
+    reported wall-clock numbers stay unperturbed by profiler overhead.
+    """
+    schedule = _draw_schedule(config._schedule_config())
+    cached = _run(config, schedule, use_cache=True)
+    uncached = _run(config, schedule, use_cache=False)
+    reduction = (
+        uncached.checksum_computations / cached.checksum_computations
+        if cached.checksum_computations
+        else float("inf")
+    )
+    speedup = (
+        uncached.wall_clock_s / cached.wall_clock_s
+        if cached.wall_clock_s
+        else float("inf")
+    )
+    if profile is not None:
+        target = pathlib.Path(profile)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _run(config, schedule, use_cache=True)
+        profiler.disable()
+        profiler.dump_stats(str(target))
+    return {
+        "benchmark": "encounter",
+        "config": asdict(config),
+        "cached": cached.as_report(config),
+        "uncached": uncached.as_report(config),
+        "reduction_factor_checksum_computations": round(reduction, 2),
+        "speedup_wall_clock": round(speedup, 2),
+        "equivalence": {
+            "identical_batches": cached.batch_digest == uncached.batch_digest,
+            "batch_digest": cached.batch_digest,
+            "entries_carried_match": (
+                cached.delivered_entries == uncached.delivered_entries
+            ),
+            "transmissions_match": (
+                cached.transmissions == uncached.transmissions
+            ),
+            "received_match": (
+                cached.received_total == uncached.received_total
+                and cached.redundant_received == uncached.redundant_received
+            ),
+            "final_knowledge_match": (
+                cached.knowledge_digest == uncached.knowledge_digest
+            ),
+        },
+    }
+
+
+def encounter_bench_equivalent(report: dict) -> bool:
+    """True when every equivalence check in a report passed."""
+    equivalence = report["equivalence"]
+    return all(
+        equivalence[key]
+        for key in (
+            "identical_batches",
+            "entries_carried_match",
+            "transmissions_match",
+            "received_match",
+            "final_knowledge_match",
+        )
+    )
+
+
+def write_encounter_bench(
+    report: dict, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Persist a :func:`run_encounter_bench` report as ``BENCH_encounter.json``."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return target

@@ -27,7 +27,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, List, Optional, Sequence
 
-from repro.replication.codec import encode_item, wire_size
+from repro.replication.codec import item_wire_size
 from repro.replication.ids import ReplicaId, Version
 from repro.replication.integrity import item_checksum
 from repro.replication.sync import BatchEntry, SyncRequest
@@ -150,7 +150,9 @@ class FaultyTransport:
     def _entry_sizes(self, batch: Sequence[Any]) -> List[int]:
         assert self._truncation is not None
         if self._truncation.unit == "bytes":
-            return [wire_size(encode_item(entry.item)) for entry in batch]
+            # Memoised per item object: re-offers of the same stored copy
+            # across retried sessions skip the re-encoding.
+            return [item_wire_size(entry.item) for entry in batch]
         return [1] * len(batch)
 
     def deliver(self, batch: Sequence[Any]) -> DeliveryOutcome:

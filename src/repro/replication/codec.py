@@ -42,7 +42,7 @@ from .filters import (
     OrFilter,
 )
 from .ids import ItemId, ReplicaId, Version
-from .integrity import frame_checksum, item_checksum
+from .integrity import cached_item_checksum, frame_checksum, item_checksum
 from .items import Item
 from .sync import BatchEntry, SyncRequest
 from .routing import Priority, PriorityClass
@@ -169,7 +169,9 @@ def encode_item(item: Item, with_checksum: bool = False) -> Dict[str, Any]:
     attributes — see :func:`repro.replication.integrity.item_checksum`),
     so relay hops that rewrite TTLs or hop lists do not invalidate it.
     Checksums are opt-in to keep the plain wire format — and every
-    zero-fault byte measurement built on it — unchanged.
+    zero-fault byte measurement built on it — unchanged. Stamping uses the
+    per-instance checksum memo (hash once per content, not per encoding);
+    decode-side *verification* never does — see :func:`decode_item`.
     """
     encoded: Dict[str, Any] = {
         "id": encode_item_id(item.item_id),
@@ -182,7 +184,7 @@ def encode_item(item: Item, with_checksum: bool = False) -> Dict[str, Any]:
     if item.deleted:
         encoded["deleted"] = True
     if with_checksum:
-        encoded["checksum"] = item_checksum(item)
+        encoded["checksum"] = cached_item_checksum(item)
     return encoded
 
 
@@ -200,7 +202,9 @@ def decode_item(data: Any) -> Item:
 
     A checksum mismatch means the encoded bytes were altered after the
     sender stamped them — the item is refused with :class:`CodecError`
-    rather than silently admitted to a store.
+    rather than silently admitted to a store. Verification always hashes
+    the freshly decoded content (a decoded object can carry no memo;
+    caching before verifying is how a forged frame would slip through).
     """
     try:
         local = {
@@ -305,7 +309,7 @@ def encode_batch_entry(
         encoded["checksum"] = (
             entry.checksum
             if entry.checksum is not None
-            else item_checksum(entry.item)
+            else cached_item_checksum(entry.item)
         )
     return encoded
 
@@ -398,6 +402,30 @@ def decode_batch_frame(data: Any) -> List[BatchEntry]:
 def wire_size(encoded: Any) -> int:
     """Size in bytes of an encoded object on the wire (compact JSON)."""
     return len(json.dumps(encoded, separators=(",", ":"), sort_keys=True).encode())
+
+
+#: Per-instance memo for :func:`item_wire_size`. Unlike the content
+#: checksum, the wire encoding *includes* host-local attributes (they are
+#: legitimately carried per copy), so this memo is never propagated across
+#: derivations — ``with_local``/``without_local`` produce new objects that
+#: re-measure. It is only ever bound next to an actual encoding of the
+#: exact object it describes.
+_WIRE_SIZE_MEMO = "_wire_size_memo"
+
+
+def item_wire_size(item: Item) -> int:
+    """``wire_size(encode_item(item))``, memoised on the item instance.
+
+    The metadata-overhead accounting (byte-unit truncation planning, the
+    paper's overhead measurements) asks for the same object's size
+    repeatedly — re-offers after interrupted transfers, duplicated
+    deliveries, replay pools; one encoding per object covers them all.
+    """
+    size = getattr(item, _WIRE_SIZE_MEMO, None)
+    if size is None:
+        size = wire_size(encode_item(item))
+        object.__setattr__(item, _WIRE_SIZE_MEMO, size)
+    return size
 
 
 def knowledge_wire_size(vector: VersionVector) -> int:

@@ -22,7 +22,7 @@ interface that the paper relies on for Spray and Wait.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping
+from typing import Any, Mapping
 
 from .ids import ItemId, Version
 
@@ -38,6 +38,36 @@ ATTR_KIND = "kind"
 KIND_MESSAGE = "message"
 KIND_ACK = "ack"
 KIND_TOMBSTONE = "tombstone"
+
+#: Name of the per-instance content-checksum memo (see
+#: :func:`repro.replication.integrity.cached_item_checksum`). The memo is a
+#: non-field attribute set with ``object.__setattr__``, so
+#: ``dataclasses.replace`` never copies it — any derivation that *could*
+#: change replicated content starts clean. Only the two derivations that
+#: provably preserve replicated content (:meth:`Item.with_local`,
+#: :meth:`Item.without_local`; the checksum excludes host-local attributes)
+#: carry it over explicitly.
+CHECKSUM_MEMO_ATTRIBUTE = "_content_checksum"
+
+
+class _OwnedDict(dict):
+    """A mapping an :class:`Item` constructor created and owns.
+
+    ``__post_init__`` copies incoming mappings defensively; mappings of
+    this type were built inside this module, are never mutated after being
+    bound to an item, and can therefore be adopted (and shared between
+    items) without another copy.
+    """
+
+    __slots__ = ()
+
+
+def _copy_content_memo(source: "Item", derived: "Item") -> "Item":
+    """Carry ``source``'s checksum memo onto a content-identical derivation."""
+    memo = getattr(source, CHECKSUM_MEMO_ATTRIBUTE, None)
+    if memo is not None:
+        object.__setattr__(derived, CHECKSUM_MEMO_ATTRIBUTE, memo)
+    return derived
 
 
 @dataclass(frozen=True)
@@ -61,8 +91,14 @@ class Item:
     def __post_init__(self) -> None:
         # Freeze the mapping views so accidental aliasing cannot mutate a
         # stored item; dataclass(frozen=True) only protects the bindings.
-        object.__setattr__(self, "attributes", dict(self.attributes))
-        object.__setattr__(self, "local_attributes", dict(self.local_attributes))
+        # Mappings this module built itself are adopted as-is — the
+        # derivation helpers below would otherwise pay two copies per hop.
+        if type(self.attributes) is not _OwnedDict:
+            object.__setattr__(self, "attributes", _OwnedDict(self.attributes))
+        if type(self.local_attributes) is not _OwnedDict:
+            object.__setattr__(
+                self, "local_attributes", _OwnedDict(self.local_attributes)
+            )
 
     # -- identity ---------------------------------------------------------------
 
@@ -107,14 +143,24 @@ class Item:
 
         This is the no-new-version update path: the result compares equal to
         the original, so knowledge and sync behaviour are unaffected.
+        Returns ``self`` when every change is a no-op (the value already
+        stored, or a delete of an absent key), so hot paths that re-stamp
+        unchanged per-copy state allocate nothing.
         """
-        merged: Dict[str, Any] = dict(self.local_attributes)
+        merged = _OwnedDict(self.local_attributes)
+        changed = False
         for key, value in local_changes.items():
             if value is None:
-                merged.pop(key, None)
-            else:
+                if merged.pop(key, None) is not None:
+                    changed = True
+            elif merged.get(key) != value or key not in merged:
                 merged[key] = value
-        return replace(self, local_attributes=merged)
+                changed = True
+        if not changed:
+            return self
+        return _copy_content_memo(
+            self, replace(self, local_attributes=merged)
+        )
 
     def without_local(self) -> "Item":
         """A copy stripped of host-local attributes, as sent on the wire.
@@ -125,7 +171,9 @@ class Item:
         """
         if not self.local_attributes:
             return self
-        return replace(self, local_attributes={})
+        return _copy_content_memo(
+            self, replace(self, local_attributes=_OwnedDict())
+        )
 
     def as_tombstone(self, version: Version) -> "Item":
         """A deletion marker for this item.

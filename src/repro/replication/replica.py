@@ -37,6 +37,7 @@ from .errors import DuplicateDeliveryError, UnknownItemError
 from .events import ObserverList, ReplicaObserver
 from .filters import Filter, FilterMatchCache
 from .ids import IdFactory, ItemId, ReplicaId, Version
+from .integrity import ChecksumCache
 from .items import Item
 from .store import ItemStore, RelayStore
 from .versions import VersionVector
@@ -82,6 +83,13 @@ class Replica:
         #: Memoised peer-filter match decisions for stored items; the sync
         #: layer consults it when building batches for repeat encounters.
         self.filter_cache = FilterMatchCache()
+        #: Content-addressed checksum memoisation, shared across the three
+        #: stores so every eviction/removal/supersession path invalidates
+        #: it (see :class:`~repro.replication.integrity.ChecksumCache`).
+        self.checksum_cache = ChecksumCache()
+        self._store.checksum_cache = self.checksum_cache
+        self._outbox.checksum_cache = self.checksum_cache
+        self._relay.attach_checksum_cache(self.checksum_cache)
 
     # -- configuration ---------------------------------------------------------
 

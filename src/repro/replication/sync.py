@@ -128,7 +128,12 @@ class SyncStats:
     would have visited), ``candidates`` how many the version index
     actually enumerated (the unknown items), ``index_skipped`` the
     difference, and the ``filter_cache_*`` counters how the memoised
-    peer-filter evaluations fared while building this batch.
+    peer-filter evaluations fared while building this batch. The
+    ``checksum_cache_*`` counters do the same for the content-addressed
+    integrity cache across both ends of the session — send-side stamping
+    hits on the source's cache plus receive-side verification hits on the
+    target's (all zero on the perfect-channel path, which computes no
+    checksums at all).
     """
 
     source: ReplicaId
@@ -139,6 +144,9 @@ class SyncStats:
     filter_cache_hits: int = 0
     filter_cache_misses: int = 0
     filter_cache_invalidations: int = 0
+    checksum_cache_hits: int = 0
+    checksum_cache_misses: int = 0
+    checksum_cache_invalidations: int = 0
     sent_total: int = 0
     sent_matching: int = 0
     sent_relayed: int = 0
@@ -286,29 +294,33 @@ def build_batch(
         stats.filter_cache_misses = cache.misses - misses
         stats.filter_cache_invalidations = cache.invalidations - invalidations
 
-    if max_items is not None and len(entries) > max_items:
-        # Partial sort: same prefix as a stable full sort followed by a
-        # slice (the enumeration index breaks ties), at O(n log k).
-        stats.truncated = len(entries) - max_items
-        entries = [
-            entry
-            for _, entry in heapq.nsmallest(
-                max_items,
-                enumerate(entries),
-                key=lambda pair: (pair[1].priority.sort_key(), pair[0]),
-            )
-        ]
-    else:
-        entries.sort(key=lambda entry: entry.priority.sort_key())
-
-    prepared = [
-        BatchEntry(
-            source.policy.prepare_outgoing(entry.item, context),
-            entry.matched_filter,
-            entry.priority,
-        )
-        for entry in entries
+    # Decorate once: ``sort_key()`` is computed exactly once per entry and
+    # the enumeration index breaks ties, so plain tuple comparison gives
+    # the same stable order on both paths without a per-comparison key
+    # call (entries themselves are never compared — the index is unique).
+    keyed = [
+        (entry.priority.sort_key(), index, entry)
+        for index, entry in enumerate(entries)
     ]
+    if max_items is not None and len(keyed) > max_items:
+        # Partial sort: same prefix as a stable full sort followed by a
+        # slice, at O(n log k).
+        stats.truncated = len(keyed) - max_items
+        keyed = heapq.nsmallest(max_items, keyed)
+    else:
+        keyed.sort()
+
+    prepared = []
+    for _, _, entry in keyed:
+        outgoing = source.policy.prepare_outgoing(entry.item, context)
+        if outgoing is entry.item:
+            # Identity fast path: the policy shipped the stored object
+            # unchanged, so the selection entry can go out as-is.
+            prepared.append(entry)
+        else:
+            prepared.append(
+                BatchEntry(outgoing, entry.matched_filter, entry.priority)
+            )
     stats.sent_total = len(prepared)
     stats.sent_matching = sum(1 for entry in prepared if entry.matched_filter)
     stats.sent_relayed = stats.sent_total - stats.sent_matching
@@ -320,6 +332,7 @@ def apply_batch(
     batch: List[BatchEntry],
     stats: SyncStats,
     tolerate_duplicates: bool = False,
+    use_cache: bool = True,
 ) -> SyncStats:
     """Target side, step 2: store every received item and update knowledge.
 
@@ -352,9 +365,18 @@ def apply_batch(
     Quarantined entries never reach :meth:`apply_remote`, so the target's
     knowledge does not cover them and the sender re-offers the real item
     at the next contact — corruption costs latency, never correctness.
+
+    ``use_cache`` (the default) routes checksum verification through the
+    target's :class:`~repro.replication.integrity.ChecksumCache`, which
+    only ever skips the hash for an object it has itself verified before —
+    verification-before-cache, so a corrupted entry can never be accepted
+    via a cache hit. ``use_cache=False`` recomputes every checksum; it is
+    the measured baseline for ``repro bench encounter`` and the
+    cached-vs-uncached equivalence tests, and quarantines identically.
     """
     snapshot = target.replica.knowledge.copy() if tolerate_duplicates else None
     seen_checksums: Dict[Any, Optional[str]] = {}
+    checksum_cache = target.replica.checksum_cache if use_cache else None
     for frame in batch:
         entry = frame
         if not isinstance(entry, BatchEntry):
@@ -362,17 +384,24 @@ def apply_batch(
             if entry is None:
                 continue
         checksum = entry.checksum
-        if checksum is not None and item_checksum(entry.item) != checksum:
-            stats.quarantined_entries += 1
-            stats.violations.append(
-                ProtocolViolation(
-                    kind=VIOLATION_CHECKSUM_MISMATCH,
-                    peer=stats.source.name,
-                    observer=target.replica_id.name,
-                    detail=f"item {entry.item.item_id} failed its checksum",
+        if checksum is not None:
+            if checksum_cache is not None:
+                valid = checksum_cache.verify_incoming(entry.item, checksum)
+            else:
+                valid = item_checksum(entry.item) == checksum
+            if not valid:
+                stats.quarantined_entries += 1
+                stats.violations.append(
+                    ProtocolViolation(
+                        kind=VIOLATION_CHECKSUM_MISMATCH,
+                        peer=stats.source.name,
+                        observer=target.replica_id.name,
+                        detail=(
+                            f"item {entry.item.item_id} failed its checksum"
+                        ),
+                    )
                 )
-            )
-            continue
+                continue
         key = (entry.item.item_id, entry.item.version)
         if tolerate_duplicates and target.replica.knowledge.contains(
             entry.item.version
@@ -461,6 +490,7 @@ def perform_sync(
     max_items: Optional[int] = None,
     transport: Optional[Any] = None,
     use_index: bool = True,
+    use_cache: bool = True,
 ) -> SyncStats:
     """Run one complete sync session: ``target`` pulls from ``source``.
 
@@ -484,6 +514,15 @@ def perform_sync(
     to tamper with the sync request before the source sees it (modelling
     fabricated knowledge) — the hardened :func:`build_batch` /
     :func:`apply_batch` paths detect both.
+
+    ``use_cache`` (the default) serves the stamping from the source's
+    :class:`~repro.replication.integrity.ChecksumCache` and the
+    verification from the target's — identical checksums, identical
+    quarantine decisions, hashing each distinct content once instead of
+    once per hop. The ``checksum_cache_*`` stats fields report how both
+    ends' caches fared over this session. ``use_cache=False`` recomputes
+    everything; the perfect-channel path (``transport=None``) touches no
+    checksums and no caches either way.
     """
     target_context = SyncContext(
         local=target.replica_id, remote=source.replica_id, now=now
@@ -502,9 +541,23 @@ def perform_sync(
             [entry.item for entry in batch], source_context
         )
         return apply_batch(target, batch, stats)
-    stamped = [
-        replace(entry, checksum=item_checksum(entry.item)) for entry in batch
-    ]
+    source_cache = source.replica.checksum_cache
+    target_cache = target.replica.checksum_cache
+    if use_cache:
+        counters_before = (
+            source_cache.hits + target_cache.hits,
+            source_cache.misses + target_cache.misses,
+            source_cache.invalidations + target_cache.invalidations,
+        )
+        stamped = [
+            replace(entry, checksum=source_cache.checksum_outgoing(entry.item))
+            for entry in batch
+        ]
+    else:
+        stamped = [
+            replace(entry, checksum=item_checksum(entry.item))
+            for entry in batch
+        ]
     outcome = transport.deliver(stamped)
     stats.interrupted = outcome.truncated
     stats.lost_in_transit = outcome.lost
@@ -517,7 +570,26 @@ def perform_sync(
     source.policy.on_items_sent(
         [entry.item for entry in delivered_once], source_context
     )
-    return apply_batch(target, outcome.delivered, stats, tolerate_duplicates=True)
+    apply_batch(
+        target,
+        outcome.delivered,
+        stats,
+        tolerate_duplicates=True,
+        use_cache=use_cache,
+    )
+    if use_cache:
+        stats.checksum_cache_hits = (
+            source_cache.hits + target_cache.hits - counters_before[0]
+        )
+        stats.checksum_cache_misses = (
+            source_cache.misses + target_cache.misses - counters_before[1]
+        )
+        stats.checksum_cache_invalidations = (
+            source_cache.invalidations
+            + target_cache.invalidations
+            - counters_before[2]
+        )
+    return stats
 
 
 def perform_encounter(
@@ -527,6 +599,7 @@ def perform_encounter(
     max_items_per_encounter: Optional[int] = None,
     transport_factory: Optional[Any] = None,
     use_index: bool = True,
+    use_cache: bool = True,
 ) -> List[SyncStats]:
     """Run one encounter: two syncs with alternating source/target roles.
 
@@ -565,6 +638,7 @@ def perform_encounter(
         max_items=budget,
         transport=channel(first, second),
         use_index=use_index,
+        use_cache=use_cache,
     )
     if budget is not None:
         budget = max(0, budget - stats_a.sent_total)
@@ -575,5 +649,6 @@ def perform_encounter(
         max_items=budget,
         transport=channel(second, first),
         use_index=use_index,
+        use_cache=use_cache,
     )
     return [stats_a, stats_b]

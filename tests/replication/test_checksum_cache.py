@@ -1,0 +1,278 @@
+"""Tests for the content-addressed checksum cache.
+
+The cache's contract has two halves with very different trust levels:
+
+* the **send** side may cache by ``(item_id, version)`` because outgoing
+  items come from the local store, which is trusted by definition;
+* the **receive** side must never let a cache hit stand in for
+  verification of an unverified object — a corrupted copy arrives under
+  an *honest* ``(item_id, version)`` and an *honest* declared checksum
+  (stamped before the damage), so any lookup keyed on those alone would
+  wave it through. The tests below attack exactly that seam.
+
+Invalidation has to track the store: eviction and version supersession
+both retire ``(item_id, version)`` keys, and the memo that rides on item
+instances must survive only content-preserving derivations.
+"""
+
+from dataclasses import replace
+
+from repro.replication import (
+    AddressFilter,
+    Replica,
+    ReplicaId,
+    SyncEndpoint,
+)
+from repro.replication.integrity import (
+    VIOLATION_CHECKSUM_MISMATCH,
+    ChecksumCache,
+    cached_item_checksum,
+    checksum_computations,
+    item_checksum,
+)
+from repro.replication.items import CHECKSUM_MEMO_ATTRIBUTE
+from repro.replication.routing import SyncContext
+from repro.replication.sync import (
+    BatchEntry,
+    build_batch,
+    build_request,
+    apply_batch,
+)
+
+CORRUPTED_PAYLOAD = "\x00<corrupted-in-transit>"
+
+
+def replica(name):
+    return Replica(ReplicaId(name), AddressFilter(name))
+
+
+def endpoints(source_name="bob", target_name="alice"):
+    return SyncEndpoint(replica(source_name)), SyncEndpoint(replica(target_name))
+
+
+def build_for(source, target):
+    context = SyncContext(
+        local=target.replica_id, remote=source.replica_id, now=0.0
+    )
+    return build_batch(source, build_request(target, context), context)
+
+
+def memo_of(item):
+    return getattr(item, CHECKSUM_MEMO_ATTRIBUTE, None)
+
+
+def computations(fn):
+    """How many real checksum computations ``fn()`` performed."""
+    before = checksum_computations()
+    fn()
+    return checksum_computations() - before
+
+
+class TestSendSide:
+    def test_checksum_outgoing_computes_once_per_version(self):
+        alice = replica("alice")
+        alice.create_item("hello", {"destination": "alice"})
+        item = next(alice.stored_items())
+        cache = alice.checksum_cache
+        assert computations(lambda: cache.checksum_outgoing(item)) == 1
+        assert computations(lambda: cache.checksum_outgoing(item)) == 0
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.checksum_outgoing(item) == item_checksum(item)
+
+    def test_trusted_hit_binds_the_instance_memo(self):
+        """A fresh instance of a cached (id, version) — a re-offer after a
+        local-attribute rewrite — gets the memo stamped on, so relays
+        downstream of this hop also skip the hash."""
+        alice = replica("alice")
+        alice.create_item("hello", {"destination": "alice"})
+        item = next(alice.stored_items())
+        cache = alice.checksum_cache
+        cache.checksum_outgoing(item)
+        fresh = replace(item)  # same content, no memo
+        assert memo_of(fresh) is None
+        cache.checksum_outgoing(fresh)
+        assert memo_of(fresh) == item_checksum(item)
+
+
+class TestReceiveSide:
+    def _stamped_entry(self, source, target):
+        batch, stats = build_for(source, target)
+        entry = batch[0]
+        checksum = source.replica.checksum_cache.checksum_outgoing(entry.item)
+        return replace(entry, checksum=checksum), stats
+
+    def _corrupted(self, entry):
+        """What PayloadCorruption does: damage the payload, keep the honest
+        declared checksum. ``replace`` drops the instance memo, which is
+        the property the receive path's soundness stands on."""
+        return replace(entry, item=replace(entry.item, payload=CORRUPTED_PAYLOAD))
+
+    def test_corrupted_first_receipt_is_quarantined_with_cache_enabled(self):
+        source, target = endpoints()
+        source.replica.create_item("precious", {"destination": "alice"})
+        entry, stats = self._stamped_entry(source, target)
+        corrupt = self._corrupted(entry)
+        assert memo_of(corrupt.item) is None  # damage shed the memo
+        apply_batch(
+            target, [corrupt], stats, tolerate_duplicates=True, use_cache=True
+        )
+        assert stats.quarantined_entries == 1
+        assert stats.received_total == 0
+        assert [v.kind for v in stats.violations] == [VIOLATION_CHECKSUM_MISMATCH]
+        assert target.replica.stored_count == 0
+
+    def test_verified_triple_does_not_cover_a_different_object(self):
+        """After honestly verifying the true item, a corrupted copy under
+        the same (id, version, declared checksum) must still be hashed —
+        the verified triple is bound to the verified *object*."""
+        source, target = endpoints()
+        source.replica.create_item("precious", {"destination": "alice"})
+        entry, _ = self._stamped_entry(source, target)
+        cache = target.replica.checksum_cache
+        assert cache.verify_incoming(entry.item, entry.checksum) is True
+        corrupt = self._corrupted(entry)
+        assert cache.verify_incoming(corrupt.item, corrupt.checksum) is False
+
+    def test_verified_triple_hit_on_channel_duplicate(self):
+        """The same delivered object seen again (a channel duplicate)
+        verifies without recomputing."""
+        source, target = endpoints()
+        source.replica.create_item("fresh", {"destination": "alice"})
+        entry, _ = self._stamped_entry(source, target)
+        cache = target.replica.checksum_cache
+        cache.verify_incoming(entry.item, entry.checksum)
+        assert (
+            computations(
+                lambda: cache.verify_incoming(entry.item, entry.checksum)
+            )
+            == 0
+        )
+
+    def test_mismatch_is_never_cached(self):
+        """A refused entry leaves no trace that could later pass."""
+        source, target = endpoints()
+        source.replica.create_item("precious", {"destination": "alice"})
+        entry, _ = self._stamped_entry(source, target)
+        corrupt = self._corrupted(entry)
+        cache = ChecksumCache()
+        assert cache.verify_incoming(corrupt.item, corrupt.checksum) is False
+        assert cache.verify_incoming(corrupt.item, corrupt.checksum) is False
+        assert len(cache) == 0
+
+
+class TestInvalidation:
+    def test_version_supersession_forgets_the_old_key(self):
+        alice = replica("alice")
+        item_id = alice.create_item("v1", {"destination": "alice"}).item_id
+        old = alice.get_item(item_id)
+        cache = alice.checksum_cache
+        cache.checksum_outgoing(old)
+        assert len(cache) == 1
+        alice.update_item(item_id, payload="v2")
+        assert cache.invalidations == 1
+        assert len(cache) == 0
+        new = alice.get_item(item_id)
+        assert cache.checksum_outgoing(new) == item_checksum(new)
+        assert cache.checksum_outgoing(new) != item_checksum(old)
+
+    def test_relay_eviction_forgets_the_victim(self):
+        bob = replica("bob")
+        bob.set_relay_capacity(1)
+        carol = replica("carol")
+        first = carol.create_item("one", {"destination": "dave"})
+        second = carol.create_item("two", {"destination": "erin"})
+        bob.apply_remote(first.without_local())  # out of filter: relayed
+        assert bob.relay_count == 1
+        bob.checksum_cache.checksum_outgoing(bob.get_item(first.item_id))
+        bob.apply_remote(second.without_local())  # capacity 1: evicts
+        assert bob.get_item(first.item_id) is None
+        assert bob.checksum_cache.invalidations == 1
+        assert len(bob.checksum_cache) == 0
+
+
+class TestMemoPropagation:
+    def _item(self):
+        alice = replica("alice")
+        alice.create_item("hello", {"destination": "alice", "k": 1})
+        return next(alice.stored_items())
+
+    def test_content_preserving_derivations_carry_the_memo(self):
+        item = self._item()
+        checksum = cached_item_checksum(item)
+        assert memo_of(item.with_local(ttl=3)) == checksum
+        assert memo_of(item.with_local(ttl=3).without_local()) == checksum
+
+    def test_content_changing_derivations_start_clean(self):
+        item = self._item()
+        cached_item_checksum(item)
+        new_version = replace(item.version, counter=item.version.counter + 1)
+        assert memo_of(item.with_version(new_version)) is None
+        assert memo_of(item.with_version(new_version, payload="x")) is None
+        assert memo_of(item.as_tombstone(new_version)) is None
+        assert memo_of(replace(item, payload="other")) is None
+
+    def test_with_local_noop_returns_self(self):
+        item = self._item().with_local(ttl=5)
+        assert item.with_local(ttl=5) is item
+        assert item.with_local(absent=None) is item
+        stripped = item.without_local()
+        assert stripped.without_local() is stripped
+
+
+class TestPolicyIdentityFastPaths:
+    def test_epidemic_reships_a_correctly_stamped_copy_unchanged(self):
+        from repro.dtn.epidemic import EpidemicPolicy, TTL_ATTRIBUTE
+
+        alice = replica("alice")
+        policy = EpidemicPolicy(initial_ttl=5).bind(alice)
+        created = alice.create_item("m", {"destination": "zoe"})
+        context = SyncContext(
+            local=alice.replica_id, remote=ReplicaId("bob"), now=0.0
+        )
+        wire = created.without_local().with_local(**{TTL_ATTRIBUTE: 4})
+        assert policy.prepare_outgoing(wire, context) is wire
+        stale = created.without_local().with_local(**{TTL_ATTRIBUTE: 9})
+        assert policy.prepare_outgoing(stale, context) is not stale
+
+    def test_spray_wait_phase_ships_the_stored_single_copy_as_is(self):
+        from repro.dtn.spray_wait import COPIES_ATTRIBUTE, SprayAndWaitPolicy
+
+        alice = replica("alice")
+        policy = SprayAndWaitPolicy(initial_copies=4).bind(alice)
+        created = alice.create_item("m", {"destination": "zoe"})
+        alice.adjust_local(created.with_local(**{COPIES_ATTRIBUTE: 1}))
+        stored = alice.get_item(created.item_id)
+        context = SyncContext(
+            local=alice.replica_id, remote=ReplicaId("bob"), now=0.0
+        )
+        assert policy.prepare_outgoing(stored, context) is stored
+
+    def test_maxprop_reships_an_already_recorded_hoplist_unchanged(self):
+        from repro.dtn.maxprop import HOPLIST_ATTRIBUTE, MaxPropPolicy
+
+        alice = replica("alice")
+        policy = MaxPropPolicy().bind(alice)
+        created = alice.create_item("m", {"destination": "zoe"})
+        alice.adjust_local(
+            created.with_local(**{HOPLIST_ATTRIBUTE: ("alice",)})
+        )
+        stored = alice.get_item(created.item_id)
+        context = SyncContext(
+            local=alice.replica_id, remote=ReplicaId("bob"), now=0.0
+        )
+        assert policy.prepare_outgoing(stored, context) is stored
+
+    def test_identity_fast_path_preserves_the_checksum_memo(self):
+        """The point of the fast path: a reshipped copy keeps its memo, so
+        the next hop's stamping is free."""
+        from repro.dtn.epidemic import EpidemicPolicy, TTL_ATTRIBUTE
+
+        alice = replica("alice")
+        policy = EpidemicPolicy(initial_ttl=5).bind(alice)
+        created = alice.create_item("m", {"destination": "zoe"})
+        wire = created.without_local().with_local(**{TTL_ATTRIBUTE: 4})
+        checksum = cached_item_checksum(wire)
+        context = SyncContext(
+            local=alice.replica_id, remote=ReplicaId("bob"), now=0.0
+        )
+        assert memo_of(policy.prepare_outgoing(wire, context)) == checksum
