@@ -34,6 +34,9 @@ Groups:
   (the hardened-sync layer; see ``docs/protocol.md`` §7),
   :class:`ChecksumCache` (the content-addressed checksum cache every
   replica carries; see ``docs/performance.md``).
+* **Knowledge digests** — :class:`DigestConfig` (arms the compact
+  Bloom-digest mode of the sync protocol) and :class:`KnowledgeDigest`
+  (the digest itself; see ``docs/protocol.md`` §8).
 """
 
 from __future__ import annotations
@@ -63,14 +66,17 @@ from repro.experiments.sweep import (
     run_sweep,
 )
 from repro.faults.config import FaultConfig
+from repro.replication.digest import DigestConfig, KnowledgeDigest
 from repro.replication.integrity import ChecksumCache, ProtocolViolation
 from repro.replication.peer_health import PeerHealthTracker
 
 __all__ = [
     "ChecksumCache",
+    "DigestConfig",
     "ExperimentConfig",
     "ExperimentResult",
     "FaultConfig",
+    "KnowledgeDigest",
     "MessageRecord",
     "MetricsCollector",
     "PAPER_POLICY_ORDER",

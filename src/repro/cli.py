@@ -6,6 +6,7 @@ Usage (installed as ``python -m repro``):
     python -m repro run --policy epidemic [--scale S]
                         [--bandwidth-limit N] [--storage-limit N]
                         [--filter-strategy random|selected --filter-k K]
+                        [--digest] [--digest-fp-rate P]
                         [--fault-drop P] [--fault-truncation P]
                         [--fault-duplication P] [--fault-crash P]
                         [--fault-corruption P] [--fault-replay P]
@@ -30,6 +31,9 @@ Usage (installed as ``python -m repro``):
     python -m repro bench sweep [--workers N] [--scale S]
                                 [--policies P ...] [--seeds N ...]
                                 [--output PATH] [--min-speedup X]
+    python -m repro bench metadata [--scale S] [--items M] [--seed S]
+                                   [--fp-rate P] [--output PATH]
+                                   [--min-reduction R]
 
 Every command prints paper-style rows; ``figure`` also honours
 ``--output-dir`` to persist them, and ``sweep`` materializes every run as
@@ -106,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--addressing", choices=("bus", "user"), default="bus",
         help="bus = the paper's model; user = dynamic-filter extension",
+    )
+    run.add_argument(
+        "--digest", action="store_true",
+        help="arm the compact knowledge-digest mode of the sync protocol "
+             "(docs/protocol.md §8)",
+    )
+    run.add_argument(
+        "--digest-fp-rate", type=float, default=0.05, metavar="P",
+        help="digest false-positive budget per membership probe "
+             "(default 0.05)",
     )
     faults = run.add_argument_group(
         "fault injection", "seeded fault models (see docs/faults.md)"
@@ -225,7 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser(
         "bench", help="run a micro-benchmark and record its JSON artifact"
     )
-    bench.add_argument("which", choices=("sync", "encounter", "sweep"))
+    bench.add_argument("which", choices=("sync", "encounter", "sweep", "metadata"))
     bench.add_argument("--nodes", type=int, default=50)
     bench.add_argument("--items", type=int, default=5000)
     bench.add_argument("--encounters", type=int, default=10000)
@@ -243,13 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=pathlib.Path, default=None,
         help="where to write the JSON artifact "
              "(default ./BENCH_sync.json / ./BENCH_encounter.json / "
-             "./BENCH_sweep.json)",
+             "./BENCH_sweep.json / ./BENCH_metadata.json)",
     )
     bench.add_argument(
         "--min-reduction", type=float, default=None, metavar="R",
         help="[sync] fail (exit 1) unless items-scanned-per-encounter "
              "improved by at least this factor over the full-scan baseline; "
-             "[encounter] same gate, over checksum computations",
+             "[encounter] same gate, over checksum computations; "
+             "[metadata] same gate, over knowledge wire bytes at the "
+             "largest fragmented-knowledge point",
     )
     bench.add_argument(
         "--duplicate-every", type=int, default=7, metavar="N",
@@ -266,8 +282,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="[sweep] worker processes for the parallel leg",
     )
     bench.add_argument(
-        "--scale", type=float, default=0.5,
-        help="[sweep] scenario scale for every grid cell",
+        "--scale", type=float, default=None,
+        help="[sweep] scenario scale for every grid cell (default 0.5); "
+             "[metadata] emulation workload scale (default 0.3)",
+    )
+    bench.add_argument(
+        "--fp-rate", type=float, default=0.05, metavar="P",
+        help="[metadata] digest false-positive budget for the emulation "
+             "workloads (default 0.05)",
     )
     bench.add_argument(
         "--policies", nargs="+", default=None, metavar="POLICY",
@@ -320,6 +342,15 @@ FAULT_COUNTER_KEYS = (
 )
 
 
+#: Digest counters appended to ``repro run`` output when the digest is armed.
+DIGEST_COUNTER_KEYS = (
+    "metadata_bytes",
+    "digest_syncs",
+    "digest_suppressed",
+    "fp_resends",
+)
+
+
 def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
     knobs = {
         "encounter_drop_probability": args.fault_drop,
@@ -342,17 +373,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    config = ExperimentConfig(
-        scale=_scale(args.scale),
-        policy=args.policy,
-        addressing=args.addressing,
-        filter_strategy=args.filter_strategy,
-        filter_k=args.filter_k,
-        bandwidth_limit=args.bandwidth_limit,
-        storage_limit=args.storage_limit,
-        faults=faults,
-        fault_seed=args.fault_seed,
-    )
+    try:
+        config = ExperimentConfig(
+            scale=_scale(args.scale),
+            policy=args.policy,
+            addressing=args.addressing,
+            filter_strategy=args.filter_strategy,
+            filter_k=args.filter_k,
+            bandwidth_limit=args.bandwidth_limit,
+            storage_limit=args.storage_limit,
+            faults=faults,
+            fault_seed=args.fault_seed,
+            knowledge_digest=args.digest,
+            digest_fp_rate=args.digest_fp_rate,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = run_experiment(config)
     summary = result.summary()
     print(f"experiment: {config.label()}  (scale {config.scale})")
@@ -361,6 +398,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         print()
         print(f"fault counters (fault seed {config.fault_seed}):")
         for key in FAULT_COUNTER_KEYS:
+            print(f"{key:>24} | {summary[key]:>11.0f}")
+    if config.knowledge_digest:
+        print()
+        print(f"digest counters (fp rate {config.digest_fp_rate:g}):")
+        for key in DIGEST_COUNTER_KEYS:
             print(f"{key:>24} | {summary[key]:>11.0f}")
     if args.json is not None:
         document = {
@@ -582,6 +624,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_sweep(args)
     if args.which == "encounter":
         return _cmd_bench_encounter(args)
+    if args.which == "metadata":
+        return _cmd_bench_metadata(args)
     return _cmd_bench_sync(args)
 
 
@@ -596,7 +640,7 @@ def _cmd_bench_sweep(args: argparse.Namespace) -> int:
 
     try:
         config = SweepBenchConfig(
-            scale=args.scale,
+            scale=args.scale if args.scale is not None else 0.5,
             workers=args.workers,
             policies=tuple(args.policies or DEFAULT_POLICIES),
             seeds=tuple(args.seeds if args.seeds is not None else DEFAULT_SEEDS),
@@ -684,6 +728,56 @@ def _cmd_bench_encounter(args: argparse.Namespace) -> int:
             f"error: checksum reduction {reduction:.2f}x is below the "
             f"required {args.min_reduction:.2f}x — the integrity cache has "
             "regressed toward per-hop recomputation",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench_metadata(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_metadata import (
+        MetadataBenchConfig,
+        run_metadata_bench,
+        write_metadata_bench,
+    )
+
+    try:
+        config = MetadataBenchConfig(
+            scale=args.scale if args.scale is not None else 0.3,
+            fp_rate=args.fp_rate,
+            items=args.items,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_metadata_bench(config)
+    path = write_metadata_bench(
+        report, args.output or pathlib.Path("BENCH_metadata.json")
+    )
+    print(f"metadata bench: scale {config.scale}, fp rate {config.fp_rate:g}, "
+          f"{config.items} fragmented versions (seed {config.seed})")
+    print(f"{'workload':>24} | {'mode':>16} | {'meta B/msg':>10} | "
+          f"{'suppressed':>10} | {'fp resends':>10}")
+    for name, modes in report["workloads"].items():
+        for mode in ("exact", "digest_negotiated", "digest_forced"):
+            row = modes[mode]
+            print(f"{name:>24} | {mode:>16} | "
+                  f"{row['metadata_bytes_per_delivered']:>10.2f} | "
+                  f"{row['digest_suppressed']:>10.0f} | "
+                  f"{row['fp_resends']:>10.0f}")
+    print(f"{'fragmented knowledge':>24} | {'versions':>9} | {'exact B':>9} | "
+          f"{'digest B':>9} | {'reduction':>9}")
+    for point in report["fragmented_knowledge"]["points"]:
+        print(f"{'':>24} | {point['versions']:>9} | {point['exact_bytes']:>9} | "
+              f"{point['digest_bytes']:>9} | {point['reduction_factor']:>8.2f}x")
+    reduction = report["reduction_factor_at_largest_point"]
+    print(f"artifact written to {path}")
+    if args.min_reduction is not None and reduction < args.min_reduction:
+        print(
+            f"error: metadata reduction {reduction:.2f}x is below the "
+            f"required {args.min_reduction:.2f}x — the digest has stopped "
+            "beating the exact encoding on fragmented knowledge",
             file=sys.stderr,
         )
         return 1

@@ -134,6 +134,15 @@ class MetricsCollector:
     checksum_cache_hits: int = 0
     checksum_cache_misses: int = 0
     checksum_cache_invalidations: int = 0
+    # Knowledge-digest accounting (all zero when the digest mode is off):
+    # request-knowledge bytes on the wire (exact vector or digest frame,
+    # whichever each session shipped), sessions opened with a digest,
+    # items a digest suppressed, and re-sends that proved an earlier
+    # suppression was a false positive.
+    metadata_bytes: int = 0
+    digest_syncs: int = 0
+    digest_suppressed: int = 0
+    fp_resends: int = 0
     end_time: float = 0.0
 
     # -- recording ------------------------------------------------------------------
@@ -185,6 +194,11 @@ class MetricsCollector:
         self.checksum_cache_invalidations += stats.checksum_cache_invalidations
         self.quarantined_entries += stats.quarantined_entries
         self.rejected_knowledge += stats.rejected_knowledge
+        self.metadata_bytes += stats.metadata_bytes
+        if stats.digest_used:
+            self.digest_syncs += 1
+        self.digest_suppressed += stats.digest_suppressed
+        self.fp_resends += stats.fp_resend
         for violation in stats.violations:
             self.record_violation(violation.kind)
         if stats.interrupted:
@@ -417,6 +431,15 @@ class MetricsCollector:
             "checksum_cache_misses": float(self.checksum_cache_misses),
             "checksum_cache_invalidations": float(
                 self.checksum_cache_invalidations
+            ),
+            "metadata_bytes": float(self.metadata_bytes),
+            "digest_syncs": float(self.digest_syncs),
+            "digest_suppressed": float(self.digest_suppressed),
+            "fp_resends": float(self.fp_resends),
+            "metadata_bytes_per_delivered": (
+                self.metadata_bytes / self.delivered
+                if self.delivered
+                else float(self.metadata_bytes)
             ),
             "mean_copies_at_delivery": (
                 self.mean_copies_at_delivery() or float("nan")

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.faults import FaultConfig, FaultInjector
+from repro.replication.digest import DigestConfig
 from repro.replication.errors import SyncProtocolError
 from repro.replication.events import BaseReplicaObserver
 from repro.replication.items import Item
@@ -78,6 +79,7 @@ class Emulator:
         metrics: Optional[MetricsCollector] = None,
         faults: Optional[FaultConfig] = None,
         fault_seed: int = 0,
+        digest: Optional[DigestConfig] = None,
     ) -> None:
         """Realism knobs beyond the paper's Figure 9/10 limits:
 
@@ -98,6 +100,14 @@ class Emulator:
           jittered backoff and recovery probes). The injector draws from
           its *own* RNG seeded by ``fault_seed``, so arming faults never
           perturbs the base experiment's random draws.
+        * ``digest`` arms the compact knowledge-digest mode of the sync
+          protocol (``docs/protocol.md`` §8): targets summarise their
+          knowledge as a Bloom digest instead of shipping the exact
+          vector whenever the digest is smaller. A false positive can
+          only *suppress* an item for one contact (never deliver a
+          duplicate), and the suppressed item is re-offered at a later
+          contact under a fresh salt — suppression is retried, never
+          lost.
         """
         if not 0.0 <= sync_failure_probability <= 1.0:
             raise ValueError("sync_failure_probability must be in [0, 1]")
@@ -112,6 +122,7 @@ class Emulator:
         self.sync_failure_probability = sync_failure_probability
         self.failed_encounters = 0
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.digest = digest
         self.engine = SimulationEngine()
         self._rng = random.Random(seed)
         self._user_location: Dict[str, str] = {}
@@ -262,6 +273,7 @@ class Emulator:
             now=now,
             max_items_per_encounter=self._encounter_budget(encounter),
             transport_factory=transport_factory,
+            digest=self.digest,
         )
         for name, old in before.items():
             if not self.nodes[name].replica.knowledge.dominates(old):

@@ -90,6 +90,14 @@ class ExperimentConfig:
     # (all probabilities zero) is also bit-for-bit equivalent to None.
     faults: Optional[FaultConfig] = None
 
+    # Knowledge-digest mode (docs/protocol.md §8): when armed, targets
+    # summarise their knowledge as a Bloom digest whenever it beats the
+    # exact vector on the wire. ``digest_fp_rate`` is the per-probe false
+    # positive budget; a false positive suppresses an item for one
+    # contact and it is re-offered later under a fresh salt.
+    knowledge_digest: bool = False
+    digest_fp_rate: float = 0.05
+
     # Determinism knobs.
     assignment_seed: int = 5
     workload_seed: int = 99
@@ -118,6 +126,8 @@ class ExperimentConfig:
             )
         if self.storage_limit is not None and self.storage_limit < 0:
             raise ValueError("storage_limit must be >= 0 or None")
+        if not 0.0 < self.digest_fp_rate < 0.5:
+            raise ValueError("digest_fp_rate must be in (0, 0.5)")
 
     @property
     def effective_users(self) -> int:
@@ -157,6 +167,8 @@ class ExperimentConfig:
             parts.append(f"store={self.storage_limit}")
         if self.faults is not None and self.faults.enabled:
             parts.append("faults")
+        if self.knowledge_digest:
+            parts.append(f"digest@{self.digest_fp_rate:g}")
         if self.trace_seed != 42:
             parts.append(f"seed={self.trace_seed}")
         return " ".join(parts)

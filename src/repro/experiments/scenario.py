@@ -37,6 +37,7 @@ from repro.dtn.registry import get_policy
 from repro.emulation.encounters import EncounterTrace
 from repro.emulation.network import Emulator, Injection
 from repro.emulation.node import EmulatedNode
+from repro.replication.digest import DigestConfig
 from repro.traces.dieselnet import DieselNetConfig, generate_dieselnet_trace
 from repro.traces.enron import EmailWorkloadModel, generate_enron_model
 from repro.traces.mapping import AssignmentSchedule, assign_users_daily
@@ -185,6 +186,11 @@ def build_scenario(
         seed=config.encounter_order_seed,
         faults=config.faults,
         fault_seed=config.fault_seed,
+        digest=(
+            DigestConfig(fp_rate=config.digest_fp_rate)
+            if config.knowledge_digest
+            else None
+        ),
     )
     return Scenario(
         config=config,

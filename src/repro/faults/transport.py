@@ -118,18 +118,48 @@ class FaultyTransport:
     # -- request tampering ---------------------------------------------------------
 
     def corrupt_request(self, request: SyncRequest) -> SyncRequest:
-        """Possibly inflate the request's knowledge (fabrication model).
+        """Possibly tamper with the request's knowledge (fabrication model).
 
-        The tampered vector is a copy — knowledge travels by value, so
-        the target's live vector is never touched. The inflation targets
-        the *source's* own authoring counters, which is exactly the claim
-        the source can validate against what it actually authored.
+        Exact-mode requests get their vector inflated: a copy — knowledge
+        travels by value, so the target's live vector is never touched —
+        claiming counters of the *source's* own authoring range, which is
+        exactly the claim the source can validate against what it
+        actually authored.
+
+        Digest-mode requests cannot be inflated counter-by-counter, so
+        the model attacks the digest itself, alternating (by one RNG
+        draw) between the two detectable shapes: a **saturated** bitmap
+        with a consistently restamped checksum — the strongest
+        suppression attack, every membership probe hits, caught by the
+        fabrication probes — and a **bit-flipped** bitmap under the stale
+        checksum, i.e. transit damage, caught by the integrity check.
         """
         if self._fabrication is None or self._source_id is None:
             return request
         inflate = self._fabrication.inflate_by(self._rng)
         if inflate == 0:
             return request
+        self._count("fabricated_requests")
+        if request.digest is not None:
+            if self._rng.random() < 0.5:
+                tampered = request.digest.with_bits(
+                    b"\xff" * len(request.digest.bits), restamp=True
+                )
+            else:
+                damaged = bytearray(request.digest.bits)
+                damaged[self._rng.randrange(len(damaged))] ^= (
+                    1 << self._rng.randrange(8)
+                )
+                tampered = request.digest.with_bits(
+                    bytes(damaged), restamp=False
+                )
+            return SyncRequest(
+                target_id=request.target_id,
+                knowledge=request.knowledge,
+                filter=request.filter,
+                routing_state=request.routing_state,
+                digest=tampered,
+            )
         knowledge = request.knowledge.copy()
         base = max(
             knowledge.known_counter_prefix(self._source_id),
@@ -137,12 +167,12 @@ class FaultyTransport:
         )
         for counter in range(base + 1, base + inflate + 1):
             knowledge.add(Version(self._source_id, counter))
-        self._count("fabricated_requests")
         return SyncRequest(
             target_id=request.target_id,
             knowledge=knowledge,
             filter=request.filter,
             routing_state=request.routing_state,
+            digest=request.digest,
         )
 
     # -- batch delivery ------------------------------------------------------------

@@ -29,20 +29,31 @@ from .codec import (
     decode_filter,
     decode_item,
     decode_knowledge,
+    decode_knowledge_digest,
     decode_sync_request,
+    digest_wire_size,
     encode_batch,
     encode_batch_entry,
     encode_batch_frame,
     encode_filter,
     encode_item,
     encode_knowledge,
+    encode_knowledge_digest,
     encode_sync_request,
     knowledge_wire_size,
     register_routing_codec,
     wire_size,
 )
+from .digest import (
+    DigestConfig,
+    KnowledgeDigest,
+    SuppressionLedger,
+    bloom_parameters,
+    estimated_digest_wire_size,
+)
 from .integrity import (
     VIOLATION_CHECKSUM_MISMATCH,
+    VIOLATION_DIGEST,
     VIOLATION_KINDS,
     VIOLATION_KNOWLEDGE_FABRICATION,
     VIOLATION_MALFORMED_ENTRY,
@@ -118,6 +129,7 @@ from .sync import (
     build_request,
     perform_encounter,
     perform_sync,
+    validate_request_digest,
     validate_request_knowledge,
 )
 from .versions import VersionVector
@@ -134,6 +146,7 @@ __all__ = [
     "BaseReplicaObserver",
     "BatchEntry",
     "CodecError",
+    "DigestConfig",
     "DuplicateDeliveryError",
     "Filter",
     "FilterTree",
@@ -146,6 +159,7 @@ __all__ = [
     "KIND_ACK",
     "KIND_MESSAGE",
     "KIND_TOMBSTONE",
+    "KnowledgeDigest",
     "MultiAddressFilter",
     "NORMAL_PRIORITY",
     "NotFilter",
@@ -169,6 +183,7 @@ __all__ = [
     "ReplicationError",
     "RoutingPolicy",
     "SUSPECT",
+    "SuppressionLedger",
     "SyncContext",
     "SyncEndpoint",
     "SyncProtocolError",
@@ -176,6 +191,7 @@ __all__ = [
     "SyncStats",
     "UnknownItemError",
     "VIOLATION_CHECKSUM_MISMATCH",
+    "VIOLATION_DIGEST",
     "VIOLATION_KINDS",
     "VIOLATION_KNOWLEDGE_FABRICATION",
     "VIOLATION_MALFORMED_ENTRY",
@@ -183,6 +199,7 @@ __all__ = [
     "VIOLATION_VERSION_CONFLICT",
     "Version",
     "VersionVector",
+    "bloom_parameters",
     "build_batch",
     "build_request",
     "decode_batch",
@@ -191,14 +208,18 @@ __all__ = [
     "decode_filter",
     "decode_item",
     "decode_knowledge",
+    "decode_knowledge_digest",
     "decode_sync_request",
+    "digest_wire_size",
     "encode_batch",
     "encode_batch_entry",
     "encode_batch_frame",
     "encode_filter",
     "encode_item",
     "encode_knowledge",
+    "encode_knowledge_digest",
     "encode_sync_request",
+    "estimated_digest_wire_size",
     "frame_checksum",
     "item_checksum",
     "knowledge_wire_size",
@@ -210,6 +231,7 @@ __all__ = [
     "replica_to_state",
     "save_replica",
     "validate_host_filter",
+    "validate_request_digest",
     "validate_request_knowledge",
     "wire_size",
 ]

@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .digest import KnowledgeDigest
 from .errors import ReplicationError
 from .filters import (
     AddressFilter,
@@ -107,6 +108,35 @@ def decode_knowledge(data: Any) -> VersionVector:
         except (TypeError, ValueError) as error:
             raise CodecError(f"bad knowledge entry for {name!r}") from error
     return VersionVector(entries)
+
+
+# -- knowledge digests -------------------------------------------------------------
+
+
+def encode_knowledge_digest(digest: KnowledgeDigest) -> Dict[str, Any]:
+    """Encode a Bloom knowledge digest as its compressed wire frame."""
+    return digest.to_wire()
+
+
+def decode_knowledge_digest(data: Any) -> KnowledgeDigest:
+    """Decode a digest frame, rejecting malformed shapes.
+
+    Shape malformations (missing keys, undecodable base64/zlib bitmap,
+    parameters out of range, bitmap length inconsistent with ``m``) raise
+    :class:`CodecError` here. A frame that decodes but whose integrity
+    checksum does not match is *returned* — the protocol layer verifies
+    and quarantines it as a typed ``digest-mismatch`` violation, so a
+    damaged digest costs one rejected request, not a decode failure.
+    """
+    try:
+        return KnowledgeDigest.from_wire(data)
+    except ValueError as error:
+        raise CodecError(str(error)) from error
+
+
+def digest_wire_size(digest: KnowledgeDigest) -> int:
+    """Bytes a knowledge digest occupies in a sync request."""
+    return wire_size(encode_knowledge_digest(digest))
 
 
 # -- filters -----------------------------------------------------------------------
@@ -275,23 +305,32 @@ def decode_routing_state(data: Any) -> Any:
 
 
 def encode_sync_request(request: SyncRequest) -> Dict[str, Any]:
-    return {
+    encoded = {
         "target": request.target_id.name,
         "knowledge": encode_knowledge(request.knowledge),
         "filter": encode_filter(request.filter),
         "routing": encode_routing_state(request.routing_state),
     }
+    if request.digest is not None:
+        encoded["digest"] = encode_knowledge_digest(request.digest)
+    return encoded
 
 
 def decode_sync_request(data: Any) -> SyncRequest:
     try:
+        digest_frame = data.get("digest")
         return SyncRequest(
             target_id=ReplicaId(data["target"]),
             knowledge=decode_knowledge(data["knowledge"]),
             filter=decode_filter(data["filter"]),
             routing_state=decode_routing_state(data.get("routing")),
+            digest=(
+                None
+                if digest_frame is None
+                else decode_knowledge_digest(digest_frame)
+            ),
         )
-    except (KeyError, TypeError) as error:
+    except (KeyError, TypeError, AttributeError) as error:
         raise CodecError(f"bad sync request encoding: {data!r}") from error
 
 
@@ -429,5 +468,17 @@ def item_wire_size(item: Item) -> int:
 
 
 def knowledge_wire_size(vector: VersionVector) -> int:
-    """Bytes a replica's knowledge occupies in a sync request."""
-    return wire_size(encode_knowledge(vector))
+    """Bytes a replica's knowledge occupies in a sync request.
+
+    Memoised on the vector itself (the ``item_wire_size`` pattern): a
+    replica's knowledge is sized at every sync it opens or answers, and
+    between learning events the vector — and every copy-on-write snapshot
+    sharing its entry table — has the same encoding. The memo lives on
+    the :class:`VersionVector` (its ``_wire_size`` slot), is inherited by
+    snapshots, and every mutating path clears it.
+    """
+    size = vector._wire_size
+    if size is None:
+        size = wire_size(encode_knowledge(vector))
+        vector._wire_size = size
+    return size

@@ -1,0 +1,377 @@
+"""Bloom-filter knowledge digests — compact knowledge on the wire.
+
+A sync request normally opens with the target's full knowledge (its
+version vector), whose wire size grows with the number of out-of-order
+counters retained. For well-connected workloads the vector compacts to a
+handful of prefixes, but under fragmentation (interrupted transfers,
+partitioned relay paths) the extras dominate and the request becomes the
+most expensive frame of the encounter.
+
+A :class:`KnowledgeDigest` replaces the exact vector with a compressed
+Bloom filter over every (replica, counter) pair the target knows. The
+error is strictly one-sided:
+
+* **No false negatives.** A version the target knows is always a member,
+  so the source never transmits an item the target already has —
+  at-most-once delivery is preserved unconditionally, and the digest path
+  can never trigger a :class:`~repro.replication.errors.DuplicateDeliveryError`.
+* **Bounded false positives.** With probability ≈ ``fp_rate`` per unknown
+  version, the source wrongly concludes the target already knows an item
+  and *suppresses* the transmission. Suppression is never silent loss:
+  the target's knowledge does not cover the item, so every later request
+  it sends (under a fresh digest salt, or in exact mode) re-exposes the
+  gap and the item is re-offered. Per contact the miss probability is
+  ``fp_rate``; across contacts it decays geometrically, because each
+  session's digest is salted independently.
+
+The salt is the decorrelation mechanism and its construction matters: the
+per-version bit positions are derived from a *keyed* BLAKE2b hash, so
+changing the salt re-randomises every position. (A linear checksum such
+as CRC32 would shift all same-length keys by a constant under a salt
+change, making the false-positive set salt-invariant — a suppressed item
+would then be suppressed at every later contact, turning a bounded delay
+into a livelock.)
+
+Negotiated fallback: the target only ships a digest when its estimated
+wire size undercuts the exact encoding (compact contiguous knowledge
+always wins, heavily fragmented knowledge never does), so arming digests
+can only reduce request metadata. ``DigestConfig(force=True)`` overrides
+the negotiation for tests and benchmarks that must exercise the digest
+path unconditionally.
+
+Accounting: the source-side :class:`SuppressionLedger` remembers, per
+peer, which stored versions a digest suppressed. Knowledge is monotone
+and the digest has no false negatives, so if one of those versions is
+*later sent* to the same peer, the target provably did not know it when
+it was suppressed — the suppression was a false positive. The ledger
+surfaces exactly those proofs as the ``fp_resend`` counter (an
+undercount when the target learns the item via a third replica first,
+but every count it does emit is a certain FP, never a guess).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+import math
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+from repro._compat import DATACLASS_SLOTS
+
+from .ids import ReplicaId, Version
+from .versions import VersionVector
+
+#: Bits of the BLAKE2b output split into the double-hashing pair.
+_HASH_BYTES = 16
+
+#: Fabrication probes: counters above the source's last authored counter
+#: tested for membership. An honest digest hits each with probability
+#: ``fp_rate``; all of them only with probability ``fp_rate**16`` —
+#: negligible even at the loosest permitted rate — so a full sweep of
+#: hits marks the digest as fabricated (e.g. saturated bits).
+FABRICATION_PROBES = 16
+
+#: Hex digits kept from the digest frame's own integrity checksum
+#: (matches the item-checksum truncation in :mod:`.integrity`).
+_CHECKSUM_LENGTH = 16
+
+#: Fixed JSON framing cost (keys, params, checksum) on top of the
+#: base64 bit payload, used by the negotiation estimate.
+_FRAME_OVERHEAD = 120
+
+
+def bloom_parameters(count: int, fp_rate: float) -> "tuple[int, int]":
+    """Optimal (bits, hashes) for ``count`` members at ``fp_rate``.
+
+    Standard sizing: ``m = 1.44 · n · log2(1/p)`` bits and
+    ``k = (m/n) · ln 2`` hash functions, floored at one byte and one
+    hash so the degenerate empty/near-empty cases stay well-formed.
+    """
+    if count <= 0:
+        return 8, 1
+    m = max(8, math.ceil(1.44 * count * math.log2(1.0 / fp_rate)))
+    k = max(1, round((m / count) * math.log(2)))
+    return m, k
+
+
+def estimated_digest_wire_size(count: int, fp_rate: float) -> int:
+    """Upper estimate of a digest's wire size, for negotiation.
+
+    A near-optimally filled Bloom bitmap is incompressible, so the
+    estimate assumes zlib adds only its framing and base64 its 4/3
+    expansion. Used *before* building the digest: when even this bound
+    cannot beat the exact encoding, the build is skipped entirely.
+    """
+    m, _ = bloom_parameters(count, fp_rate)
+    raw = (m + 7) // 8
+    encoded = 4 * math.ceil((raw + 12) / 3)
+    return encoded + _FRAME_OVERHEAD
+
+
+def _digest_checksum(
+    m: int, k: int, salt: int, count: int, fp_rate: float, bits: bytes
+) -> str:
+    """Integrity checksum over a digest's parameters and bitmap."""
+    head = f"{m}|{k}|{salt}|{count}|{fp_rate!r}|".encode("utf-8")
+    return hashlib.sha256(head + bits).hexdigest()[:_CHECKSUM_LENGTH]
+
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
+class DigestConfig:
+    """Tuning knobs for the knowledge-digest mode of the sync protocol.
+
+    ``fp_rate`` is the per-version false-positive probability the Bloom
+    filter is sized for; lower rates cost more bits per known version
+    (``1.44 · log2(1/p)``). ``force`` disables the size negotiation and
+    always ships a digest — for tests and benchmarks only, since forcing
+    can *inflate* request metadata when exact knowledge is compact.
+    """
+
+    fp_rate: float = 0.05
+    force: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fp_rate < 0.5:
+            raise ValueError(
+                f"fp_rate must be in (0, 0.5), got {self.fp_rate!r}"
+            )
+
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
+class KnowledgeDigest:
+    """A salted, compressed Bloom summary of one replica's knowledge.
+
+    ``bits`` is the raw bitmap (``ceil(m/8)`` bytes, little-endian bit
+    order within each byte); the wire frame carries it zlib-compressed
+    and base64-encoded. ``checksum`` covers the parameters and the raw
+    bitmap, so in-flight damage to either is detected before the digest
+    is consulted — a digest cannot be *clamped* the way an exact vector
+    can, so the receiving side rejects rather than repairs.
+    """
+
+    m: int
+    k: int
+    salt: int
+    count: int
+    fp_rate: float
+    bits: bytes
+    checksum: str
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, vector: VersionVector, fp_rate: float, salt: int
+    ) -> "KnowledgeDigest":
+        """Digest every version covered by ``vector``."""
+        count = vector.size_in_versions()
+        m, k = bloom_parameters(count, fp_rate)
+        salt &= 0xFFFFFFFFFFFFFFFF
+        bitmap = bytearray((m + 7) // 8)
+        salt_key = salt.to_bytes(8, "big")
+        for version in vector.versions():
+            h1, h2 = _hash_pair(version, salt_key)
+            for i in range(k):
+                index = (h1 + i * h2) % m
+                bitmap[index >> 3] |= 1 << (index & 7)
+        bits = bytes(bitmap)
+        return cls(
+            m=m,
+            k=k,
+            salt=salt,
+            count=count,
+            fp_rate=fp_rate,
+            bits=bits,
+            checksum=_digest_checksum(m, k, salt, count, fp_rate, bits),
+        )
+
+    def with_bits(self, bits: bytes, restamp: bool) -> "KnowledgeDigest":
+        """A copy with a replaced bitmap — the fault models' tampering hook.
+
+        ``restamp=True`` recomputes the checksum over the new bitmap
+        (a consistent forgery, caught only by the fabrication probes);
+        ``restamp=False`` keeps the stale checksum (transit damage,
+        caught by :meth:`verify`).
+        """
+        checksum = (
+            _digest_checksum(
+                self.m, self.k, self.salt, self.count, self.fp_rate, bits
+            )
+            if restamp
+            else self.checksum
+        )
+        return KnowledgeDigest(
+            m=self.m,
+            k=self.k,
+            salt=self.salt,
+            count=self.count,
+            fp_rate=self.fp_rate,
+            bits=bits,
+            checksum=checksum,
+        )
+
+    # -- membership --------------------------------------------------------------
+
+    def might_contain(self, version: Version) -> bool:
+        """Bloom membership: False is definite, True may be an FP."""
+        h1, h2 = _hash_pair(version, self.salt.to_bytes(8, "big"))
+        bits = self.bits
+        m = self.m
+        for i in range(self.k):
+            index = (h1 + i * h2) % m
+            if not bits[index >> 3] >> (index & 7) & 1:
+                return False
+        return True
+
+    # -- integrity ---------------------------------------------------------------
+
+    def verify(self) -> bool:
+        """True when the checksum matches the parameters and bitmap."""
+        return self.checksum == _digest_checksum(
+            self.m, self.k, self.salt, self.count, self.fp_rate, self.bits
+        )
+
+    # -- wire format -------------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, object]:
+        """The JSON-representable digest frame."""
+        return {
+            "m": self.m,
+            "k": self.k,
+            "salt": self.salt,
+            "count": self.count,
+            "fp": self.fp_rate,
+            "bits": base64.b64encode(zlib.compress(self.bits)).decode("ascii"),
+            "checksum": self.checksum,
+        }
+
+    @classmethod
+    def from_wire(cls, data: object) -> "KnowledgeDigest":
+        """Decode a digest frame; raises ``ValueError`` on any malformation.
+
+        (The codec layer wraps this into its typed
+        :class:`~repro.replication.codec.CodecError`.) Shape is validated
+        here — parameters in range, bitmap length consistent with ``m`` —
+        but checksum *verification* is left to the protocol layer, so a
+        damaged digest quarantines one request instead of failing decode.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"bad digest frame: {data!r}")
+        try:
+            m = int(data["m"])
+            k = int(data["k"])
+            salt = int(data["salt"])
+            count = int(data["count"])
+            fp_rate = float(data["fp"])
+            encoded = data["bits"]
+            checksum = data["checksum"]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"bad digest frame: {data!r}") from error
+        if not isinstance(encoded, str) or not isinstance(checksum, str):
+            raise ValueError(f"bad digest frame: {data!r}")
+        if m < 8 or k < 1 or salt < 0 or count < 0:
+            raise ValueError(
+                f"digest parameters out of range: m={m} k={k} "
+                f"salt={salt} count={count}"
+            )
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError(f"digest fp rate out of range: {fp_rate!r}")
+        try:
+            bits = zlib.decompress(base64.b64decode(encoded, validate=True))
+        except (binascii.Error, ValueError, zlib.error) as error:
+            raise ValueError("undecodable digest bitmap") from error
+        if len(bits) != (m + 7) // 8:
+            raise ValueError(
+                f"digest bitmap is {len(bits)} bytes, expected "
+                f"{(m + 7) // 8} for m={m}"
+            )
+        return cls(
+            m=m,
+            k=k,
+            salt=salt,
+            count=count,
+            fp_rate=fp_rate,
+            bits=bits,
+            checksum=checksum,
+        )
+
+    def wire_size(self) -> int:
+        """Bytes this digest occupies in a sync request (compact JSON)."""
+        return len(
+            json.dumps(
+                self.to_wire(), separators=(",", ":"), sort_keys=True
+            ).encode()
+        )
+
+
+def _hash_pair(version: Version, salt_key: bytes) -> "tuple[int, int]":
+    """The double-hashing pair for one version under one salt.
+
+    Keyed BLAKE2b makes the pair — and therefore every derived bit
+    position — cryptographically independent across salts, which is what
+    guarantees fresh false-positive sets per session (see module
+    docstring for why a linear hash would not).
+    """
+    key = f"{version.replica.name}:{version.counter}".encode("utf-8")
+    raw = hashlib.blake2b(key, digest_size=_HASH_BYTES, key=salt_key).digest()
+    h1 = int.from_bytes(raw[:8], "big")
+    h2 = int.from_bytes(raw[8:], "big") | 1
+    return h1, h2
+
+
+class SuppressionLedger:
+    """Per-peer memory of digest-suppressed versions, proving FPs on re-send.
+
+    The ledger records the stored versions a digest suppressed for each
+    peer. Because knowledge is monotone and the digest has no false
+    negatives, a recorded version that is later *sent* to the same peer
+    (any mode) was provably unknown to that peer at suppression time —
+    a certain false positive, counted once and forgotten. Recorded
+    versions whose items have left the local store are pruned on the
+    next recording, so the ledger is bounded by store size per peer.
+
+    Purely an accounting structure: it never influences batch selection,
+    and losing it (e.g. across a crash-restart) only undercounts
+    ``fp_resend``, never affects delivery.
+    """
+
+    __slots__ = ("_suppressed",)
+
+    def __init__(self) -> None:
+        self._suppressed: Dict[ReplicaId, Set[Version]] = {}
+
+    def record(
+        self,
+        peer: ReplicaId,
+        suppressed: Iterable[Version],
+        stored: Set[Version],
+    ) -> None:
+        """Record this session's suppressions, pruning departed versions."""
+        tracked = self._suppressed.get(peer)
+        merged = set(suppressed) if tracked is None else (tracked & stored)
+        if tracked is not None:
+            merged.update(suppressed)
+        if merged:
+            self._suppressed[peer] = merged
+        else:
+            self._suppressed.pop(peer, None)
+
+    def note_sent(self, peer: ReplicaId, sent: Iterable[Version]) -> int:
+        """Count (and forget) previously suppressed versions now sent."""
+        tracked = self._suppressed.get(peer)
+        if not tracked:
+            return 0
+        proven = tracked.intersection(sent)
+        if proven:
+            tracked -= proven
+            if not tracked:
+                del self._suppressed[peer]
+        return len(proven)
+
+    def tracked_count(self, peer: ReplicaId) -> int:
+        """How many suppressed versions are currently tracked for ``peer``."""
+        return len(self._suppressed.get(peer, ()))

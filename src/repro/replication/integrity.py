@@ -53,6 +53,7 @@ VIOLATION_MALFORMED_ENTRY = "malformed-entry"
 VIOLATION_REPLAY = "replay"
 VIOLATION_KNOWLEDGE_FABRICATION = "knowledge-fabrication"
 VIOLATION_VERSION_CONFLICT = "version-conflict"
+VIOLATION_DIGEST = "digest-mismatch"
 
 VIOLATION_KINDS: Tuple[str, ...] = (
     VIOLATION_CHECKSUM_MISMATCH,
@@ -60,6 +61,7 @@ VIOLATION_KINDS: Tuple[str, ...] = (
     VIOLATION_REPLAY,
     VIOLATION_KNOWLEDGE_FABRICATION,
     VIOLATION_VERSION_CONFLICT,
+    VIOLATION_DIGEST,
 )
 
 #: Hex digits kept from the sha256 digest; 64 bits of collision resistance

@@ -31,8 +31,10 @@ The replica enforces the substrate's two delivery guarantees:
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
+from .digest import SuppressionLedger
 from .errors import DuplicateDeliveryError, UnknownItemError
 from .events import ObserverList, ReplicaObserver
 from .filters import Filter, FilterMatchCache
@@ -90,6 +92,13 @@ class Replica:
         self._store.checksum_cache = self.checksum_cache
         self._outbox.checksum_cache = self.checksum_cache
         self._relay.attach_checksum_cache(self.checksum_cache)
+        #: Per-peer memory of digest-suppressed versions; proves false
+        #: positives when a suppressed version is later sent (the
+        #: ``fp_resend`` counter). Accounting only — never consulted for
+        #: batch selection, and losing it (crash-restart) merely
+        #: undercounts.
+        self.suppression_ledger = SuppressionLedger()
+        self._digest_sessions = 0
 
     # -- configuration ---------------------------------------------------------
 
@@ -203,6 +212,19 @@ class Replica:
         a sync request whose knowledge exceeds it is fabricated.
         """
         return self._ids.last_counter
+
+    def next_digest_salt(self) -> int:
+        """A fresh salt for the next knowledge digest this replica builds.
+
+        Deterministic (replica name × monotone session counter, no
+        process-global state) yet unique per session, so consecutive
+        digests decorrelate their false-positive sets — the property
+        that turns an FP into a one-contact delay instead of a
+        permanent suppression.
+        """
+        self._digest_sessions += 1
+        name_mix = zlib.crc32(self.replica_id.name.encode("utf-8"))
+        return ((name_mix << 20) ^ self._digest_sessions) & 0xFFFFFFFFFFFFFFFF
 
     # -- receiving -------------------------------------------------------------------
 

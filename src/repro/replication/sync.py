@@ -38,11 +38,18 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro._compat import DATACLASS_SLOTS
 
+from .digest import (
+    FABRICATION_PROBES,
+    DigestConfig,
+    KnowledgeDigest,
+    estimated_digest_wire_size,
+)
 from .errors import PolicyError
 from .filters import Filter
-from .ids import ReplicaId
+from .ids import ReplicaId, Version
 from .integrity import (
     VIOLATION_CHECKSUM_MISMATCH,
+    VIOLATION_DIGEST,
     VIOLATION_KNOWLEDGE_FABRICATION,
     VIOLATION_MALFORMED_ENTRY,
     VIOLATION_REPLAY,
@@ -76,12 +83,20 @@ class SyncEndpoint:
 
 @dataclass
 class SyncRequest:
-    """What the target sends to open a sync: knowledge, filter, routing state."""
+    """What the target sends to open a sync: knowledge, filter, routing state.
+
+    In digest mode ``digest`` carries a compact Bloom summary of the
+    target's knowledge *instead of* the exact vector — ``knowledge`` is
+    then an empty placeholder (the digest deliberately leaks no exact
+    counter structure alongside itself), and the source selects
+    candidates by Bloom membership rather than vector coverage.
+    """
 
     target_id: ReplicaId
     knowledge: VersionVector
     filter: Filter
     routing_state: Any = None
+    digest: Optional[KnowledgeDigest] = None
 
 
 @dataclass(**DATACLASS_SLOTS)
@@ -134,6 +149,17 @@ class SyncStats:
     hits on the source's cache plus receive-side verification hits on the
     target's (all zero on the perfect-channel path, which computes no
     checksums at all).
+
+    The digest fields account for the compact-knowledge mode:
+    ``metadata_bytes`` is what the request's knowledge payload occupied
+    on the wire (the exact vector's encoding, or the digest frame when
+    one was sent); ``digest_used`` marks sessions opened with a digest;
+    ``digest_suppressed`` counts stored items withheld because the digest
+    claimed the target knew them (mostly true positives, occasionally
+    FPs); and ``fp_resend`` counts transmissions that *prove* an earlier
+    suppression was a false positive — the item is being sent now, so the
+    target cannot have known it then (see
+    :class:`~repro.replication.digest.SuppressionLedger`).
     """
 
     source: ReplicaId
@@ -156,6 +182,10 @@ class SyncStats:
     redundant_received: int = 0
     quarantined_entries: int = 0
     rejected_knowledge: int = 0
+    metadata_bytes: int = 0
+    digest_used: bool = False
+    digest_suppressed: int = 0
+    fp_resend: int = 0
     interrupted: bool = False
     delivered_items: List[Item] = field(default_factory=list)
     violations: List[ProtocolViolation] = field(default_factory=list)
@@ -170,14 +200,55 @@ class SyncStats:
         return not self.interrupted
 
 
-def build_request(target: SyncEndpoint, context: SyncContext) -> SyncRequest:
-    """Target side, step 1: snapshot knowledge + filter, add routing state."""
+def build_request(
+    target: SyncEndpoint,
+    context: SyncContext,
+    digest: Optional[DigestConfig] = None,
+) -> SyncRequest:
+    """Target side, step 1: snapshot knowledge + filter, add routing state.
+
+    With a :class:`~repro.replication.digest.DigestConfig`, the request
+    opens in digest mode when the negotiation picks it: a Bloom digest is
+    sent only when its estimated wire size undercuts the exact vector's
+    (memoised) encoding, so compact contiguous knowledge keeps the exact
+    path and arming digests can only shrink request metadata. Each digest
+    is built under a fresh per-session salt, which is what makes a false
+    positive a one-contact delay instead of a permanent suppression.
+    """
     routing_state = target.policy.generate_req(context)
+    if digest is not None:
+        knowledge_digest = _negotiate_digest(target.replica, digest)
+        if knowledge_digest is not None:
+            return SyncRequest(
+                target_id=target.replica_id,
+                knowledge=VersionVector.empty(),
+                filter=target.replica.filter,
+                routing_state=routing_state,
+                digest=knowledge_digest,
+            )
     return SyncRequest(
         target_id=target.replica_id,
         knowledge=target.replica.knowledge.copy(),
         filter=target.replica.filter,
         routing_state=routing_state,
+    )
+
+
+def _negotiate_digest(
+    replica: Replica, config: DigestConfig
+) -> Optional[KnowledgeDigest]:
+    """Build a digest when (estimated) cheaper than exact knowledge."""
+    vector = replica.knowledge
+    if not config.force:
+        from .codec import knowledge_wire_size
+
+        estimate = estimated_digest_wire_size(
+            vector.size_in_versions(), config.fp_rate
+        )
+        if estimate >= knowledge_wire_size(vector):
+            return None
+    return KnowledgeDigest.build(
+        vector, config.fp_rate, replica.next_digest_salt()
     )
 
 
@@ -227,6 +298,62 @@ def validate_request_knowledge(
     return knowledge
 
 
+def validate_request_digest(
+    source: SyncEndpoint, request: SyncRequest, stats: SyncStats
+) -> bool:
+    """Source-side protocol validation of a digest-mode request.
+
+    A digest cannot be *clamped* the way an exact vector can — membership
+    is opaque — so validation is accept-or-reject, with the same bounded
+    damage as the clamp: a rejected request yields an empty batch and the
+    session retries at the next contact, where the target's freshly
+    built request (new salt, or exact fallback) is honest again. Two
+    checks:
+
+    * **Integrity** — the frame checksum over the digest's parameters and
+      bitmap must verify; transit damage is a ``digest-mismatch``
+      violation.
+    * **Fabrication** — :data:`~repro.replication.digest.FABRICATION_PROBES`
+      counters *above* everything this replica ever authored are probed
+      for membership. An honest digest hits each with probability
+      ``fp_rate``, all of them with probability ``fp_rate**16`` —
+      negligible — so a full sweep of hits (e.g. a saturated bitmap,
+      which would suppress every transmission) is rejected as
+      ``knowledge-fabrication``.
+    """
+    digest = request.digest
+    assert digest is not None
+    own = source.replica_id
+    if not digest.verify():
+        stats.rejected_knowledge += 1
+        stats.violations.append(
+            ProtocolViolation(
+                kind=VIOLATION_DIGEST,
+                peer=request.target_id.name,
+                observer=own.name,
+                detail="knowledge digest fails its integrity checksum",
+            )
+        )
+        return False
+    authored = source.replica.last_authored_counter
+    probes = range(authored + 1, authored + 1 + FABRICATION_PROBES)
+    if all(digest.might_contain(Version(own, counter)) for counter in probes):
+        stats.rejected_knowledge += 1
+        stats.violations.append(
+            ProtocolViolation(
+                kind=VIOLATION_KNOWLEDGE_FABRICATION,
+                peer=request.target_id.name,
+                observer=own.name,
+                detail=(
+                    f"digest claims all {FABRICATION_PROBES} probed "
+                    f"counters of {own.name} above {authored}"
+                ),
+            )
+        )
+        return False
+    return True
+
+
 def build_batch(
     source: SyncEndpoint,
     request: SyncRequest,
@@ -251,6 +378,16 @@ def build_batch(
     the measured baseline for ``repro bench sync`` and the equivalence
     tests, and produces identical batches.
 
+    In digest mode (``request.digest`` set) the exact-knowledge machinery
+    is bypassed: the digest is validated (checksum + fabrication probes,
+    see :func:`validate_request_digest`; rejection returns an empty
+    batch), then candidates are the stored items whose versions the
+    digest does *not* claim — Bloom "no" is definite, so nothing the
+    target knows is ever sent, and a false positive merely suppresses an
+    unknown item until a later contact re-offers it. The version index
+    cannot serve Bloom membership, so digest mode always walks the full
+    store (same enumeration order as the exact scan).
+
     Building does **not** fire ``on_items_sent`` — the channel has not
     carried anything yet. :func:`perform_sync` invokes the hook with the
     entries that were actually delivered; callers assembling the protocol
@@ -258,19 +395,50 @@ def build_batch(
     """
     stats = SyncStats(source=source.replica_id, target=request.target_id)
     source.policy.process_req(request.routing_state, context)
-    knowledge = validate_request_knowledge(source, request, stats)
 
+    digest = request.digest
+    suppressed: List[Version] = []
+    stored_versions: set = set()
     stats.store_size = source.replica.stored_count
-    if use_index:
-        unknown = source.replica.items_unknown_to(knowledge)
-        cache = source.replica.filter_cache
-        hits, misses, invalidations = cache.hits, cache.misses, cache.invalidations
-        matches = lambda item: cache.matches(request.filter, item)  # noqa: E731
+    if digest is not None:
+        stats.digest_used = True
+        stats.metadata_bytes = digest.wire_size()
+        if not validate_request_digest(source, request, stats):
+            return [], stats
+        unknown = []
+        for item in source.replica.stored_items():
+            stored_versions.add(item.version)
+            if digest.might_contain(item.version):
+                suppressed.append(item.version)
+            else:
+                unknown.append(item)
+        stats.digest_suppressed = len(suppressed)
+        if use_index:
+            cache = source.replica.filter_cache
+            hits, misses, invalidations = (
+                cache.hits, cache.misses, cache.invalidations,
+            )
+            matches = lambda item: cache.matches(request.filter, item)  # noqa: E731
+        else:
+            matches = request.filter.matches
+        stats.candidates = len(unknown)
     else:
-        unknown = source.replica.items_unknown_to_scan(knowledge)
-        matches = request.filter.matches
-    stats.candidates = len(unknown)
-    stats.index_skipped = stats.store_size - stats.candidates
+        from .codec import knowledge_wire_size
+
+        stats.metadata_bytes = knowledge_wire_size(request.knowledge)
+        knowledge = validate_request_knowledge(source, request, stats)
+        if use_index:
+            unknown = source.replica.items_unknown_to(knowledge)
+            cache = source.replica.filter_cache
+            hits, misses, invalidations = (
+                cache.hits, cache.misses, cache.invalidations,
+            )
+            matches = lambda item: cache.matches(request.filter, item)  # noqa: E731
+        else:
+            unknown = source.replica.items_unknown_to_scan(knowledge)
+            matches = request.filter.matches
+        stats.candidates = len(unknown)
+        stats.index_skipped = stats.store_size - stats.candidates
 
     entries: List[BatchEntry] = []
     for item in unknown:
@@ -324,6 +492,19 @@ def build_batch(
     stats.sent_total = len(prepared)
     stats.sent_matching = sum(1 for entry in prepared if entry.matched_filter)
     stats.sent_relayed = stats.sent_total - stats.sent_matching
+
+    # FP accounting: anything sent now that an earlier digest suppressed
+    # for this peer was provably unknown to the peer back then (knowledge
+    # is monotone, the digest has no false negatives) — a certain false
+    # positive. Both modes prove; only digest sessions record. The
+    # ledger never influences selection, so the zero-digest path costs
+    # one dictionary miss.
+    ledger = source.replica.suppression_ledger
+    stats.fp_resend = ledger.note_sent(
+        request.target_id, (entry.item.version for entry in prepared)
+    )
+    if digest is not None:
+        ledger.record(request.target_id, suppressed, stored_versions)
     return prepared, stats
 
 
@@ -491,8 +672,14 @@ def perform_sync(
     transport: Optional[Any] = None,
     use_index: bool = True,
     use_cache: bool = True,
+    digest: Optional[DigestConfig] = None,
 ) -> SyncStats:
     """Run one complete sync session: ``target`` pulls from ``source``.
+
+    ``digest``, when given, arms the compact-knowledge mode: the target's
+    request carries a salted Bloom digest instead of its exact vector
+    whenever the negotiation in :func:`build_request` favours it (always,
+    under ``force=True``).
 
     ``transport``, when given, mediates batch delivery (duck-typed to
     :class:`repro.faults.FaultyTransport`): it may truncate the batch —
@@ -530,7 +717,7 @@ def perform_sync(
     source_context = SyncContext(
         local=source.replica_id, remote=target.replica_id, now=now
     )
-    request = build_request(target, target_context)
+    request = build_request(target, target_context, digest=digest)
     if transport is not None and hasattr(transport, "corrupt_request"):
         request = transport.corrupt_request(request)
     batch, stats = build_batch(
@@ -600,6 +787,7 @@ def perform_encounter(
     transport_factory: Optional[Any] = None,
     use_index: bool = True,
     use_cache: bool = True,
+    digest: Optional[DigestConfig] = None,
 ) -> List[SyncStats]:
     """Run one encounter: two syncs with alternating source/target roles.
 
@@ -639,6 +827,7 @@ def perform_encounter(
         transport=channel(first, second),
         use_index=use_index,
         use_cache=use_cache,
+        digest=digest,
     )
     if budget is not None:
         budget = max(0, budget - stats_a.sent_total)
@@ -650,5 +839,6 @@ def perform_encounter(
         transport=channel(second, first),
         use_index=use_index,
         use_cache=use_cache,
+        digest=digest,
     )
     return [stats_a, stats_b]

@@ -108,13 +108,20 @@ class VersionVector:
     O(replicas) detach. Entries themselves are immutable, so sharing the
     table is safe; a sync request's knowledge snapshot therefore costs
     nothing unless the replica learns something mid-session.
+
+    ``_wire_size`` memoises the vector's encoded size (written by
+    :func:`repro.replication.codec.knowledge_wire_size`, the same pattern
+    as the per-item wire-size memo). Snapshots inherit it — they share
+    the entry table, so they share the size — and every mutating path
+    clears it on the side that actually wrote.
     """
 
-    __slots__ = ("_entries", "_shared")
+    __slots__ = ("_entries", "_shared", "_wire_size")
 
     def __init__(self, entries: Mapping[ReplicaId, _Entry] | None = None) -> None:
         self._entries: Dict[ReplicaId, _Entry] = dict(entries or {})
         self._shared = False
+        self._wire_size: "int | None" = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -134,6 +141,7 @@ class VersionVector:
         snapshot = VersionVector.__new__(VersionVector)
         snapshot._entries = self._entries
         snapshot._shared = True
+        snapshot._wire_size = self._wire_size
         self._shared = True
         return snapshot
 
@@ -159,6 +167,7 @@ class VersionVector:
         if updated is not entry:
             self._detach()
             self._entries[version.replica] = updated
+            self._wire_size = None
 
     def merge(self, other: "VersionVector") -> None:
         """Union ``other`` into this vector (in place)."""
@@ -168,6 +177,7 @@ class VersionVector:
             if merged is not mine:
                 self._detach()
                 self._entries[replica] = merged
+                self._wire_size = None
 
     def merged(self, other: "VersionVector") -> "VersionVector":
         """Return a new vector equal to the union of both operands."""
@@ -196,6 +206,7 @@ class VersionVector:
             min(entry.prefix, maximum),
             (counter for counter in entry.extras if counter <= maximum),
         )
+        clamp._wire_size = None
         return clamp
 
     def dominates(self, other: "VersionVector") -> bool:
@@ -248,6 +259,14 @@ class VersionVector:
     def size_in_extras(self) -> int:
         """Total non-contiguous counters retained (0 when fully compacted)."""
         return sum(len(entry.extras) for entry in self._entries.values())
+
+    def size_in_versions(self) -> int:
+        """Total versions covered — the member count a Bloom digest of
+        this vector is sized for. O(replicas), not O(versions)."""
+        return sum(
+            entry.prefix + len(entry.extras)
+            for entry in self._entries.values()
+        )
 
     # -- dunder plumbing ---------------------------------------------------------
 

@@ -1,0 +1,425 @@
+"""Property tests for the Bloom knowledge digest (docs/protocol.md §8).
+
+The digest's safety argument rests on one-sided error: membership may
+only err toward "the target knows it" (a bounded-probability false
+positive that delays one transmission), never toward "the target does
+not know it" (a false negative would re-send known items and break
+at-most-once delivery). These tests pin that asymmetry, the empirical
+false-positive rate against the configured budget, consistency with the
+version-vector set semantics, salt decorrelation (the no-livelock
+property), codec round-trips, and the typed rejection of malformed and
+tampered frames.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication import (
+    CodecError,
+    DigestConfig,
+    KnowledgeDigest,
+    Replica,
+    SuppressionLedger,
+    SyncEndpoint,
+    SyncStats,
+    VIOLATION_DIGEST,
+    VIOLATION_KNOWLEDGE_FABRICATION,
+    bloom_parameters,
+    build_request,
+    decode_knowledge_digest,
+    decode_sync_request,
+    encode_knowledge_digest,
+    encode_sync_request,
+    estimated_digest_wire_size,
+    knowledge_wire_size,
+    validate_request_digest,
+)
+from repro.replication.filters import AddressFilter
+from repro.replication.ids import ReplicaId, Version
+from repro.replication.routing import SyncContext
+from repro.replication.sync import SyncRequest
+from repro.replication.versions import VersionVector
+
+replica_names = st.sampled_from(["a", "b", "c", "d", "e"])
+versions = st.builds(
+    Version,
+    replica=st.builds(ReplicaId, name=replica_names),
+    counter=st.integers(min_value=1, max_value=200),
+)
+version_lists = st.lists(versions, max_size=120)
+fp_rates = st.sampled_from([0.01, 0.05, 0.1, 0.25])
+salts = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def _random_vector(rng: random.Random, versions_count: int) -> VersionVector:
+    """A fragmented vector: scattered counters across a few replicas."""
+    vector = VersionVector.empty()
+    replicas = [ReplicaId(f"r{i}") for i in range(4)]
+    drawn = set()
+    while len(drawn) < versions_count:
+        drawn.add((rng.randrange(4), rng.randrange(1, versions_count * 4 + 2)))
+    for index, counter in drawn:
+        vector.add(Version(replicas[index], counter))
+    return vector
+
+
+# -- one-sided error -----------------------------------------------------------
+
+
+@given(version_lists, fp_rates, salts)
+@settings(max_examples=60, deadline=None)
+def test_membership_never_false_negative(version_list, fp_rate, salt):
+    vector = VersionVector.from_versions(version_list)
+    digest = KnowledgeDigest.build(vector, fp_rate, salt)
+    for version in vector.versions():
+        assert digest.might_contain(version)
+
+
+@pytest.mark.parametrize("count", [100, 1000, 5000])
+@pytest.mark.parametrize("fp_rate", [0.01, 0.05, 0.1])
+def test_empirical_fp_rate_within_budget(count, fp_rate):
+    """Probing definite non-members hits at ≈ the configured rate.
+
+    The tolerance (2× + additive slack for small samples) is loose enough
+    to be seed-stable and tight enough to catch a sizing regression — an
+    m or k miscalculation inflates the rate by far more than 2×.
+    """
+    rng = random.Random(count * 1000 + int(fp_rate * 1000))
+    vector = _random_vector(rng, count)
+    digest = KnowledgeDigest.build(vector, fp_rate, salt=rng.randrange(2**64))
+    outsider = ReplicaId("outsider")  # no member version uses this replica
+    probes = 4000
+    hits = sum(
+        digest.might_contain(Version(outsider, counter))
+        for counter in range(1, probes + 1)
+    )
+    observed = hits / probes
+    assert observed <= fp_rate * 2.0 + 0.005
+
+
+@given(version_lists, salts)
+@settings(max_examples=40, deadline=None)
+def test_salt_rotation_decorrelates_false_positives(version_list, salt):
+    """An FP under one salt is (almost always) not an FP under another —
+    the property that turns suppression into a geometric delay instead of
+    a livelock. Checked in aggregate: across many non-member probes, the
+    two salts never agree on every false positive (unless there were
+    none to begin with)."""
+    vector = VersionVector.from_versions(version_list)
+    first = KnowledgeDigest.build(vector, 0.25, salt)
+    second = KnowledgeDigest.build(vector, 0.25, salt ^ 0x5DEECE66D)
+    outsider = ReplicaId("outsider")
+    fp_first = {
+        counter
+        for counter in range(1, 2001)
+        if first.might_contain(Version(outsider, counter))
+    }
+    if len(fp_first) < 5:
+        return  # too few FPs to say anything about correlation
+    surviving = {
+        counter
+        for counter in fp_first
+        if second.might_contain(Version(outsider, counter))
+    }
+    assert surviving != fp_first
+
+
+# -- set semantics -------------------------------------------------------------
+
+
+@given(version_lists, version_lists, fp_rates, salts)
+@settings(max_examples=40, deadline=None)
+def test_digest_of_merge_covers_both_operands(left, right, fp_rate, salt):
+    merged = VersionVector.from_versions(left)
+    merged.merge(VersionVector.from_versions(right))
+    digest = KnowledgeDigest.build(merged, fp_rate, salt)
+    for version in list(left) + list(right):
+        assert digest.might_contain(version)
+
+
+@given(version_lists, fp_rates, salts)
+@settings(max_examples=40, deadline=None)
+def test_digest_of_clamped_vector_matches_clamped_membership(
+    version_list, fp_rate, salt
+):
+    """Clamping a vector and digesting commutes with set semantics: every
+    version surviving the clamp is a member, and the digest's count field
+    equals the clamped vector's version count exactly."""
+    vector = VersionVector.from_versions(version_list)
+    authority = ReplicaId("a")
+    clamped = vector.clamped(authority, maximum=20)
+    digest = KnowledgeDigest.build(clamped, fp_rate, salt)
+    assert digest.count == clamped.size_in_versions()
+    for version in clamped.versions():
+        assert digest.might_contain(version)
+
+
+@given(version_lists, fp_rates, salts)
+@settings(max_examples=40, deadline=None)
+def test_count_matches_vector_size(version_list, fp_rate, salt):
+    vector = VersionVector.from_versions(version_list)
+    digest = KnowledgeDigest.build(vector, fp_rate, salt)
+    assert digest.count == vector.size_in_versions()
+    assert digest.count == len(set(version_list))
+
+
+# -- sizing --------------------------------------------------------------------
+
+
+def test_bloom_parameters_sizing():
+    m, k = bloom_parameters(1000, 0.01)
+    assert 9000 <= m <= 10000  # 1.44 · 1000 · log2(100) ≈ 9567
+    assert 6 <= k <= 8
+    assert bloom_parameters(0, 0.05) == (8, 1)
+    assert bloom_parameters(-3, 0.05) == (8, 1)
+
+
+def test_estimate_is_an_upper_bound_on_built_size():
+    rng = random.Random(7)
+    for count in (10, 200, 2000):
+        vector = _random_vector(rng, count)
+        digest = KnowledgeDigest.build(vector, 0.05, salt=99)
+        estimate = estimated_digest_wire_size(count, 0.05)
+        assert digest.wire_size() <= estimate
+
+
+# -- codec ---------------------------------------------------------------------
+
+
+@given(version_lists, fp_rates, salts)
+@settings(max_examples=40, deadline=None)
+def test_codec_roundtrip(version_list, fp_rate, salt):
+    digest = KnowledgeDigest.build(
+        VersionVector.from_versions(version_list), fp_rate, salt
+    )
+    decoded = decode_knowledge_digest(encode_knowledge_digest(digest))
+    assert decoded == digest
+    assert decoded.verify()
+
+
+def _wire_frame() -> dict:
+    vector = VersionVector.from_versions(
+        [Version(ReplicaId("a"), counter) for counter in (1, 2, 5)]
+    )
+    return encode_knowledge_digest(KnowledgeDigest.build(vector, 0.05, 3))
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda frame: "not-a-dict",
+        lambda frame: {**frame, "m": "NaN"},
+        lambda frame: {key: value for key, value in frame.items() if key != "k"},
+        lambda frame: {**frame, "m": 4},
+        lambda frame: {**frame, "k": 0},
+        lambda frame: {**frame, "salt": -1},
+        lambda frame: {**frame, "count": -2},
+        lambda frame: {**frame, "fp": 1.5},
+        lambda frame: {**frame, "bits": "!!!not-base64!!!"},
+        lambda frame: {**frame, "bits": "AAAA"},  # valid b64, not zlib
+        lambda frame: {**frame, "m": frame["m"] * 2},  # bitmap length mismatch
+        lambda frame: {**frame, "checksum": 12345},
+    ],
+    ids=[
+        "non-dict",
+        "non-numeric-m",
+        "missing-k",
+        "m-too-small",
+        "k-zero",
+        "negative-salt",
+        "negative-count",
+        "fp-out-of-range",
+        "bad-base64",
+        "bad-zlib",
+        "bitmap-length-mismatch",
+        "non-string-checksum",
+    ],
+)
+def test_malformed_digest_frames_raise_codec_error(mutate):
+    frame = mutate(_wire_frame())
+    with pytest.raises(CodecError):
+        decode_knowledge_digest(frame)
+
+
+def test_checksum_mismatch_decodes_but_fails_verify():
+    """Transit damage is the protocol layer's business, not the codec's:
+    a frame with a consistent shape but stale checksum must decode, and
+    ``verify()`` must flag it."""
+    frame = _wire_frame()
+    original = decode_knowledge_digest(frame)
+    damaged = original.with_bits(
+        bytes([original.bits[0] ^ 1]) + original.bits[1:], restamp=False
+    )
+    decoded = decode_knowledge_digest(encode_knowledge_digest(damaged))
+    assert not decoded.verify()
+    assert decode_knowledge_digest(frame).verify()
+
+
+def test_sync_request_roundtrips_with_digest():
+    replica = Replica(ReplicaId("alice"), AddressFilter("alice"))
+    replica.create_item("hello", {"destination": "bob"})
+    endpoint = SyncEndpoint(replica)
+    context = SyncContext(
+        local=replica.replica_id, remote=ReplicaId("bob"), now=0.0
+    )
+    request = build_request(endpoint, context, digest=DigestConfig(force=True))
+    assert request.digest is not None
+    decoded = decode_sync_request(encode_sync_request(request))
+    assert decoded.digest == request.digest
+    assert decoded.target_id == request.target_id
+
+    plain = build_request(endpoint, context)
+    assert plain.digest is None
+    assert decode_sync_request(encode_sync_request(plain)).digest is None
+
+
+# -- negotiation ---------------------------------------------------------------
+
+
+def test_negotiation_prefers_exact_for_compact_knowledge():
+    """Contiguous knowledge (one prefix entry) always beats the digest;
+    fragmented knowledge flips the choice."""
+    compact = Replica(ReplicaId("compact"), AddressFilter("compact"))
+    for index in range(50):
+        compact.create_item(f"m{index}", {"destination": "elsewhere"})
+    context = SyncContext(
+        local=compact.replica_id, remote=ReplicaId("peer"), now=0.0
+    )
+    request = build_request(
+        SyncEndpoint(compact), context, digest=DigestConfig(fp_rate=0.05)
+    )
+    assert request.digest is None  # exact vector is ~20 bytes, digest ~200
+
+    fragmented = Replica(ReplicaId("frag"), AddressFilter("frag"))
+    other = ReplicaId("author")
+    for counter in range(1, 4001, 2):  # 2000 extras, no prefix compression
+        fragmented.knowledge.add(Version(other, counter))
+    assert estimated_digest_wire_size(
+        fragmented.knowledge.size_in_versions(), 0.05
+    ) < knowledge_wire_size(fragmented.knowledge)
+    request = build_request(
+        SyncEndpoint(fragmented),
+        SyncContext(local=fragmented.replica_id, remote=other, now=0.0),
+        digest=DigestConfig(fp_rate=0.05),
+    )
+    assert request.digest is not None
+
+
+def test_fresh_salt_per_session():
+    replica = Replica(ReplicaId("salty"), AddressFilter("salty"))
+    replica.create_item("x", {"destination": "y"})
+    endpoint = SyncEndpoint(replica)
+    context = SyncContext(
+        local=replica.replica_id, remote=ReplicaId("peer"), now=0.0
+    )
+    config = DigestConfig(force=True)
+    salts_seen = {
+        build_request(endpoint, context, digest=config).digest.salt
+        for _ in range(5)
+    }
+    assert len(salts_seen) == 5
+
+
+# -- protocol validation -------------------------------------------------------
+
+
+def _digest_request(target: Replica, source_id: ReplicaId) -> SyncRequest:
+    context = SyncContext(local=target.replica_id, remote=source_id, now=0.0)
+    return build_request(
+        SyncEndpoint(target), context, digest=DigestConfig(force=True)
+    )
+
+
+def test_validation_accepts_honest_digest():
+    source = Replica(ReplicaId("src"), AddressFilter("src"))
+    source.create_item("m", {"destination": "dst"})
+    target = Replica(ReplicaId("dst"), AddressFilter("dst"))
+    request = _digest_request(target, source.replica_id)
+    stats = SyncStats(source=source.replica_id, target=target.replica_id)
+    assert validate_request_digest(SyncEndpoint(source), request, stats)
+    assert stats.rejected_knowledge == 0
+    assert not stats.violations
+
+
+def test_validation_rejects_transit_damage_as_digest_violation():
+    source = Replica(ReplicaId("src"), AddressFilter("src"))
+    target = Replica(ReplicaId("dst"), AddressFilter("dst"))
+    target.knowledge.add(Version(ReplicaId("elsewhere"), 4))
+    request = _digest_request(target, source.replica_id)
+    flipped = bytearray(request.digest.bits)
+    flipped[0] ^= 0x10
+    tampered = SyncRequest(
+        target_id=request.target_id,
+        knowledge=request.knowledge,
+        filter=request.filter,
+        routing_state=request.routing_state,
+        digest=request.digest.with_bits(bytes(flipped), restamp=False),
+    )
+    stats = SyncStats(source=source.replica_id, target=target.replica_id)
+    assert not validate_request_digest(SyncEndpoint(source), tampered, stats)
+    assert stats.rejected_knowledge == 1
+    assert [v.kind for v in stats.violations] == [VIOLATION_DIGEST]
+
+
+def test_validation_rejects_saturated_digest_as_fabrication():
+    """A consistently restamped all-ones bitmap passes the checksum but
+    claims knowledge of counters the source never authored — every
+    fabrication probe hits, and the request is rejected."""
+    source = Replica(ReplicaId("src"), AddressFilter("src"))
+    source.create_item("m", {"destination": "dst"})
+    target = Replica(ReplicaId("dst"), AddressFilter("dst"))
+    request = _digest_request(target, source.replica_id)
+    saturated = SyncRequest(
+        target_id=request.target_id,
+        knowledge=request.knowledge,
+        filter=request.filter,
+        routing_state=request.routing_state,
+        digest=request.digest.with_bits(
+            b"\xff" * len(request.digest.bits), restamp=True
+        ),
+    )
+    stats = SyncStats(source=source.replica_id, target=target.replica_id)
+    assert not validate_request_digest(SyncEndpoint(source), saturated, stats)
+    assert [v.kind for v in stats.violations] == [
+        VIOLATION_KNOWLEDGE_FABRICATION
+    ]
+
+
+# -- suppression ledger --------------------------------------------------------
+
+
+def _v(counter: int) -> Version:
+    return Version(ReplicaId("author"), counter)
+
+
+def test_ledger_counts_resend_once():
+    ledger = SuppressionLedger()
+    peer = ReplicaId("peer")
+    stored = {_v(1), _v(2), _v(3)}
+    ledger.record(peer, [_v(1), _v(2)], stored)
+    assert ledger.tracked_count(peer) == 2
+    assert ledger.note_sent(peer, [_v(2)]) == 1
+    assert ledger.note_sent(peer, [_v(2)]) == 0  # counted once, forgotten
+    assert ledger.tracked_count(peer) == 1
+
+
+def test_ledger_prunes_versions_that_left_the_store():
+    ledger = SuppressionLedger()
+    peer = ReplicaId("peer")
+    ledger.record(peer, [_v(1), _v(2)], {_v(1), _v(2)})
+    # v1's item was evicted; the next recording prunes it.
+    ledger.record(peer, [_v(3)], {_v(2), _v(3)})
+    assert ledger.tracked_count(peer) == 2
+    assert ledger.note_sent(peer, [_v(1)]) == 0
+    assert ledger.note_sent(peer, [_v(2), _v(3)]) == 2
+    assert ledger.tracked_count(peer) == 0
+
+
+def test_ledger_is_per_peer():
+    ledger = SuppressionLedger()
+    ledger.record(ReplicaId("p1"), [_v(1)], {_v(1)})
+    assert ledger.note_sent(ReplicaId("p2"), [_v(1)]) == 0
+    assert ledger.note_sent(ReplicaId("p1"), [_v(1)]) == 1
