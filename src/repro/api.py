@@ -37,6 +37,14 @@ Groups:
 * **Knowledge digests** — :class:`DigestConfig` (arms the compact
   Bloom-digest mode of the sync protocol) and :class:`KnowledgeDigest`
   (the digest itself; see ``docs/protocol.md`` §8).
+* **Columnar engine** — select with ``ExperimentConfig(engine="columnar")``;
+  :exc:`ColumnarUnsupportedError` and :func:`columnar_unsupported_reason`
+  report configs outside the verified subset, :func:`run_columnar_sharded`
+  partitions a run across worker processes, :func:`comparable_metrics`
+  is the engine-equivalence view of a metrics dict, and
+  :class:`MetroConfig` / :func:`generate_metro_trace` build the
+  city-scale metro-DieselNet traces it is benchmarked on (see
+  ``docs/performance.md`` §7).
 """
 
 from __future__ import annotations
@@ -47,6 +55,12 @@ from repro.dtn.registry import (
     default_parameters,
     get_policy,
     register_policy,
+)
+from repro.emulation.columnar import (
+    ColumnarUnsupportedError,
+    columnar_unsupported_reason,
+    comparable_metrics,
+    run_columnar_sharded,
 )
 from repro.emulation.metrics import MessageRecord, MetricsCollector
 from repro.experiments.config import ExperimentConfig, configured_scale
@@ -69,9 +83,11 @@ from repro.faults.config import FaultConfig
 from repro.replication.digest import DigestConfig, KnowledgeDigest
 from repro.replication.integrity import ChecksumCache, ProtocolViolation
 from repro.replication.peer_health import PeerHealthTracker
+from repro.traces.dieselnet import MetroConfig, generate_metro_trace
 
 __all__ = [
     "ChecksumCache",
+    "ColumnarUnsupportedError",
     "DigestConfig",
     "ExperimentConfig",
     "ExperimentResult",
@@ -79,6 +95,7 @@ __all__ = [
     "KnowledgeDigest",
     "MessageRecord",
     "MetricsCollector",
+    "MetroConfig",
     "PAPER_POLICY_ORDER",
     "PeerHealthTracker",
     "ProtocolViolation",
@@ -88,12 +105,16 @@ __all__ = [
     "SweepEvent",
     "SweepReport",
     "available_policies",
+    "columnar_unsupported_reason",
+    "comparable_metrics",
     "config_digest",
     "configured_scale",
     "default_parameters",
     "expand_grid",
+    "generate_metro_trace",
     "get_policy",
     "register_policy",
+    "run_columnar_sharded",
     "run_experiment",
     "run_id_for",
     "run_sweep",

@@ -34,6 +34,9 @@ Usage (installed as ``python -m repro``):
     python -m repro bench metadata [--scale S] [--items M] [--seed S]
                                    [--fp-rate P] [--output PATH]
                                    [--min-reduction R]
+    python -m repro bench scale [--preset tiny|smoke|full] [--policy P]
+                                [--max-nodes N] [--no-equivalence]
+                                [--seed S] [--output PATH] [--min-speedup X]
 
 Every command prints paper-style rows; ``figure`` also honours
 ``--output-dir`` to persist them, and ``sweep`` materializes every run as
@@ -239,70 +242,135 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser(
         "bench", help="run a micro-benchmark and record its JSON artifact"
     )
-    bench.add_argument("which", choices=("sync", "encounter", "sweep", "metadata"))
-    bench.add_argument("--nodes", type=int, default=50)
-    bench.add_argument("--items", type=int, default=5000)
-    bench.add_argument("--encounters", type=int, default=10000)
-    bench.add_argument("--seed", type=int, default=7)
-    bench.add_argument(
+    bench_subs = bench.add_subparsers(
+        dest="which", required=True,
+        metavar="{sync,encounter,sweep,metadata,scale}",
+    )
+
+    # Parent parsers carrying the flags every bench shares: the artifact
+    # destination, the workload seed, and the two regression-gate shapes
+    # (reduction over a baseline leg, speedup over a reference engine).
+    bench_shared = argparse.ArgumentParser(add_help=False)
+    bench_shared.add_argument(
+        "--output", type=pathlib.Path, default=None, metavar="PATH",
+        help="where to write the JSON artifact (default ./BENCH_<name>.json)",
+    )
+    bench_seeded = argparse.ArgumentParser(add_help=False)
+    bench_seeded.add_argument(
+        "--seed", type=int, default=7,
+        help="deterministic seed for the benchmark workload",
+    )
+    bench_reduction = argparse.ArgumentParser(add_help=False)
+    bench_reduction.add_argument(
+        "--min-reduction", type=float, default=None, metavar="R",
+        help="fail (exit 1) unless the bench's headline cost improved by at "
+             "least this factor over its baseline leg",
+    )
+    bench_speedup = argparse.ArgumentParser(add_help=False)
+    bench_speedup.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="fail (exit 1) unless the fast leg beat the reference leg by at "
+             "least this wall-clock factor",
+    )
+
+    bench_sync = bench_subs.add_parser(
+        "sync", parents=[bench_shared, bench_seeded, bench_reduction],
+        help="store enumeration: version index vs full scan",
+    )
+    bench_sync.add_argument("--nodes", type=int, default=50)
+    bench_sync.add_argument("--items", type=int, default=5000)
+    bench_sync.add_argument("--encounters", type=int, default=10000)
+    bench_sync.add_argument(
         "--bandwidth-limit", type=int, default=None,
         help="optional per-encounter item cap (exercises the partial sort)",
     )
-    bench.add_argument(
+    bench_sync.add_argument(
         "--verify-every", type=int, default=50, metavar="N",
         help="check index/scan enumeration equivalence every Nth encounter "
              "(0 disables)",
     )
-    bench.add_argument(
-        "--output", type=pathlib.Path, default=None,
-        help="where to write the JSON artifact "
-             "(default ./BENCH_sync.json / ./BENCH_encounter.json / "
-             "./BENCH_sweep.json / ./BENCH_metadata.json)",
+
+    bench_encounter = bench_subs.add_parser(
+        "encounter", parents=[bench_shared, bench_seeded, bench_reduction],
+        help="content checksums: cached vs per-hop recomputation",
     )
-    bench.add_argument(
-        "--min-reduction", type=float, default=None, metavar="R",
-        help="[sync] fail (exit 1) unless items-scanned-per-encounter "
-             "improved by at least this factor over the full-scan baseline; "
-             "[encounter] same gate, over checksum computations; "
-             "[metadata] same gate, over knowledge wire bytes at the "
-             "largest fragmented-knowledge point",
+    bench_encounter.add_argument("--nodes", type=int, default=50)
+    bench_encounter.add_argument("--items", type=int, default=5000)
+    bench_encounter.add_argument("--encounters", type=int, default=10000)
+    bench_encounter.add_argument(
+        "--bandwidth-limit", type=int, default=None,
+        help="optional per-encounter item cap (exercises the partial sort)",
     )
-    bench.add_argument(
+    bench_encounter.add_argument(
         "--duplicate-every", type=int, default=7, metavar="N",
-        help="[encounter] deterministically deliver every Nth entry twice "
-             "(0 disables) — exercises redundant receipts",
+        help="deterministically deliver every Nth entry twice (0 disables) "
+             "— exercises redundant receipts",
     )
-    bench.add_argument(
+    bench_encounter.add_argument(
         "--profile", type=pathlib.Path, default=None, metavar="PATH",
-        help="[encounter] additionally re-run the cached leg under cProfile "
-             "and dump the stats to PATH (pstats format)",
+        help="additionally re-run the cached leg under cProfile and dump "
+             "the stats to PATH (pstats format)",
     )
-    bench.add_argument(
+
+    bench_sweep = bench_subs.add_parser(
+        "sweep", parents=[bench_shared, bench_speedup],
+        help="sweep engine: parallel workers vs serial execution",
+    )
+    bench_sweep.add_argument(
         "--workers", type=int, default=4, metavar="N",
-        help="[sweep] worker processes for the parallel leg",
+        help="worker processes for the parallel leg",
     )
-    bench.add_argument(
+    bench_sweep.add_argument(
         "--scale", type=float, default=None,
-        help="[sweep] scenario scale for every grid cell (default 0.5); "
-             "[metadata] emulation workload scale (default 0.3)",
+        help="scenario scale for every grid cell (default 0.5)",
     )
-    bench.add_argument(
-        "--fp-rate", type=float, default=0.05, metavar="P",
-        help="[metadata] digest false-positive budget for the emulation "
-             "workloads (default 0.05)",
-    )
-    bench.add_argument(
+    bench_sweep.add_argument(
         "--policies", nargs="+", default=None, metavar="POLICY",
-        help="[sweep] grid policies (default epidemic spray prophet maxprop)",
+        help="grid policies (default epidemic spray prophet maxprop)",
     )
-    bench.add_argument(
+    bench_sweep.add_argument(
         "--seeds", nargs="+", type=int, default=None, metavar="N",
-        help="[sweep] grid replicate seeds (default 0 1)",
+        help="grid replicate seeds (default 0 1)",
     )
-    bench.add_argument(
-        "--min-speedup", type=float, default=None, metavar="X",
-        help="[sweep] fail (exit 1) unless the parallel leg beat the serial "
-             "leg by at least this factor (only meaningful on multi-core)",
+
+    bench_metadata = bench_subs.add_parser(
+        "metadata", parents=[bench_shared, bench_seeded, bench_reduction],
+        help="knowledge metadata: Bloom digests vs exact vectors",
+    )
+    bench_metadata.add_argument(
+        "--scale", type=float, default=None,
+        help="emulation workload scale (default 0.3)",
+    )
+    bench_metadata.add_argument("--items", type=int, default=5000)
+    bench_metadata.add_argument(
+        "--fp-rate", type=float, default=0.05, metavar="P",
+        help="digest false-positive budget for the emulation workloads "
+             "(default 0.05)",
+    )
+
+    bench_scale_p = bench_subs.add_parser(
+        "scale", parents=[bench_shared, bench_seeded, bench_speedup],
+        help="columnar core: object-engine comparison + nodes×encounters "
+             "curve over metro-DieselNet traces",
+    )
+    bench_scale_p.set_defaults(seed=42)
+    bench_scale_p.add_argument(
+        "--preset", choices=("tiny", "smoke", "full"), default="full",
+        help="curve ladder: 'full' tops out at 50k buses / >1M encounters, "
+             "'smoke' stays under 2k buses for CI, 'tiny' is for tests",
+    )
+    bench_scale_p.add_argument(
+        "--policy", default="epidemic",
+        help="routing policy for every run (must be columnar-supported)",
+    )
+    bench_scale_p.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N",
+        help="drop curve points above this many buses",
+    )
+    bench_scale_p.add_argument(
+        "--no-equivalence", action="store_true",
+        help="skip the object-vs-columnar equivalence gate on the matched "
+             "comparison run",
     )
     return parser
 
@@ -620,13 +688,14 @@ def cmd_tables(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    if args.which == "sweep":
-        return _cmd_bench_sweep(args)
-    if args.which == "encounter":
-        return _cmd_bench_encounter(args)
-    if args.which == "metadata":
-        return _cmd_bench_metadata(args)
-    return _cmd_bench_sync(args)
+    handlers = {
+        "sync": _cmd_bench_sync,
+        "encounter": _cmd_bench_encounter,
+        "sweep": _cmd_bench_sweep,
+        "metadata": _cmd_bench_metadata,
+        "scale": _cmd_bench_scale,
+    }
+    return handlers[args.which](args)
 
 
 def _cmd_bench_sweep(args: argparse.Namespace) -> int:
@@ -838,6 +907,74 @@ def _cmd_bench_sync(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_bench_scale(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_scale import (
+        ScaleBenchConfig,
+        run_scale_bench,
+        write_scale_bench,
+    )
+
+    try:
+        config = ScaleBenchConfig(
+            preset=args.preset,
+            policy=args.policy,
+            seed=args.seed,
+            min_speedup=(
+                args.min_speedup if args.min_speedup is not None else 5.0
+            ),
+            equivalence=not args.no_equivalence,
+            max_nodes=args.max_nodes,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_scale_bench(config)
+    path = write_scale_bench(report, args.output or pathlib.Path("BENCH_scale.json"))
+    comparison = report["comparison"]
+    print(f"scale bench: preset {config.preset}, policy {config.policy} "
+          f"(seed {config.seed}, {report['cpu_count']} CPUs)")
+    print(f"{'matched comparison':>28} | {comparison['n_buses']} buses, "
+          f"{comparison['encounters']} encounters")
+    print(f"{'object engine':>28} | "
+          f"{comparison['object']['wall_clock_s']:>9.3f}s | "
+          f"{comparison['object']['us_per_encounter']:>9.2f} us/enc")
+    print(f"{'columnar core':>28} | "
+          f"{comparison['columnar']['wall_clock_s']:>9.3f}s | "
+          f"{comparison['columnar']['us_per_encounter']:>9.2f} us/enc")
+    print(f"{'speedup':>28} | {comparison['speedup_wall_clock']:.2f}x "
+          f"(gate: {config.min_speedup:.2f}x)")
+    if comparison["equivalence_checked"]:
+        print(f"{'equivalence':>28} | identical comparable metrics: "
+              f"{comparison['equivalent']}")
+    print(f"{'buses':>10} | {'encounters':>10} | {'run s':>9} | "
+          f"{'us/enc':>8} | {'peak RSS':>10} | {'delivered':>9}")
+    for row in report["curve"]:
+        shard_tag = f" ({row['shards']} shards)" if row["shards"] > 1 else ""
+        print(f"{row['n_buses']:>10} | {row['encounters']:>10} | "
+              f"{row['run_wall_clock_s']:>9.3f} | "
+              f"{row['us_per_encounter']:>8.2f} | "
+              f"{row['peak_rss_mb']:>8.1f}MB | "
+              f"{row['delivered']:>9}{shard_tag}")
+    print(f"artifact written to {path}")
+    failed = False
+    if comparison["equivalence_checked"] and not comparison["equivalent"]:
+        keys = ", ".join(comparison["mismatched_keys"]) or "records"
+        print(
+            "error: columnar and object engines diverged on the matched "
+            f"comparison run ({keys})",
+            file=sys.stderr,
+        )
+        failed = True
+    if not report["speedup_ok"]:
+        print(
+            f"error: columnar speedup {comparison['speedup_wall_clock']:.2f}x "
+            f"is below the required {config.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

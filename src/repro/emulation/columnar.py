@@ -1,0 +1,1109 @@
+"""Flat-array emulation core for city-scale runs (``engine="columnar"``).
+
+The object engine (:mod:`repro.emulation.network`) is the executable
+spec: every node owns a :class:`~repro.replication.replica.Replica` with
+``Item``/``VersionVector``/``ItemStore`` instances, and every encounter
+walks those objects.  That is the right shape for protocol work, but it
+tops out around fifty nodes — far short of the paper's metro ambitions.
+
+This module re-implements the *supported subset* of that machinery on
+flat, integer-interned state:
+
+* every item authored during a run gets one integer index; the item
+  table is a handful of parallel arrays (destination address id, origin
+  node, per-origin serial, live holder count);
+* per-node knowledge is a plain ``set`` of item indices (the paper's
+  version vectors degenerate to membership sets because emulated runs
+  never update an item after authoring it);
+* per-node holdings are three insertion-ordered dicts (store, outbox,
+  relay) mirroring the object engine's enumeration order exactly;
+* the encounter trace is columnar (:class:`ColumnarTrace`,
+  ``array``-module columns) and the event loop is a two-pointer merge
+  over the injection and encounter columns instead of a heap.
+
+Correctness contract: for any configuration accepted by
+:func:`columnar_unsupported_reason`, a columnar run reproduces the
+object engine *draw for draw* — same RNG consumption from the encounter
+rng and the fault injector rng, same batch contents and order, same
+delivery records, same metric totals.  The randomized differential
+harness in ``tests/emulation/test_columnar_equivalence.py`` enforces
+this across policies, seeds, and fault configs.  Three counters are
+deliberately not reproduced (the columnar core has nothing to cache or
+serialize): ``filter_cache_*``, ``checksum_cache_*``, and
+``metadata_bytes`` stay zero.
+
+Unsupported configurations raise :class:`ColumnarUnsupportedError`
+rather than silently diverging; the object engine remains the path for
+user addressing, storage limits, knowledge digests, and the adversarial
+fault models.
+
+Sharding: :func:`run_columnar_sharded` partitions the world by
+connected components of the encounter graph (union-find), precomputes
+the encounter-order coin flips so every shard consumes exactly the
+draws it would have seen in a global run, ships the trace columns to
+workers through ``multiprocessing.shared_memory``, and merges the
+per-shard :class:`~repro.emulation.metrics.MetricsCollector` results
+deterministically.  Because items never cross shard boundaries (shards
+are unions of trace components), the merged result is identical to an
+unsharded run.  Fault injection draws from one global rng stream, so
+the sharded path requires ``faults=None``.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.dtn.direct import DirectDeliveryPolicy
+from repro.dtn.epidemic import EpidemicPolicy
+from repro.dtn.first_contact import FirstContactPolicy
+from repro.dtn.registry import get_policy
+from repro.dtn.spray_wait import SprayAndWaitPolicy
+from repro.emulation.encounters import SECONDS_PER_DAY, EncounterTrace
+from repro.emulation.metrics import MetricsCollector
+from repro.emulation.network import Injection
+from repro.faults.config import FaultConfig
+from repro.faults.injector import FaultInjector
+from repro.replication.ids import ItemId, ReplicaId
+from repro.replication.routing import NullRoutingPolicy
+
+__all__ = [
+    "ColumnarTrace",
+    "ColumnarUnsupportedError",
+    "ColumnarWorld",
+    "UNREPLICATED_COUNTERS",
+    "columnar_unsupported_reason",
+    "comparable_metrics",
+    "merge_metrics",
+    "plan_shards",
+    "run_columnar",
+    "run_columnar_sharded",
+    "trace_components",
+]
+
+
+class ColumnarUnsupportedError(ValueError):
+    """The configuration needs machinery the columnar core does not model."""
+
+
+# Policy kinds the flat hot loop implements inline.  The selection /
+# prepare / on-sent semantics of each are transcribed from the policy
+# classes in repro.dtn — the equivalence harness keeps them honest.
+_DIRECT = 0
+_EPIDEMIC = 1
+_SPRAY = 2
+_FIRST_CONTACT = 3
+
+#: Adversarial fault channels the columnar transport does not model.
+_UNSUPPORTED_FAULTS = (
+    "crash_probability",
+    "corruption_probability",
+    "replay_probability",
+    "fabrication_probability",
+    "malformed_probability",
+)
+
+
+def _policy_kind(policy: Any) -> Tuple[int, int]:
+    """Map a policy instance to ``(kind, parameter)`` or raise."""
+    if isinstance(policy, EpidemicPolicy):
+        return _EPIDEMIC, int(policy.initial_ttl)
+    if isinstance(policy, SprayAndWaitPolicy):
+        return _SPRAY, int(policy.initial_copies)
+    if isinstance(policy, FirstContactPolicy):
+        return _FIRST_CONTACT, 0
+    if isinstance(policy, (DirectDeliveryPolicy, NullRoutingPolicy)):
+        return _DIRECT, 0
+    raise ColumnarUnsupportedError(
+        f"policy {type(policy).__name__} is not implemented by the "
+        "columnar engine (supported: cimbiosys/direct, epidemic, spray, "
+        "first-contact)"
+    )
+
+
+def columnar_unsupported_reason(config: Any) -> Optional[str]:
+    """Why ``config`` cannot run on the columnar engine (None = it can).
+
+    The gate is deliberately conservative: anything the flat core does
+    not reproduce draw-for-draw against the object engine is rejected.
+    """
+    if config.addressing != "bus":
+        return "columnar engine supports bus addressing only"
+    if config.storage_limit is not None:
+        return "columnar engine does not model storage limits / eviction"
+    if config.delete_on_receipt:
+        return "columnar engine does not model delete_on_receipt"
+    if config.knowledge_digest:
+        return "columnar engine does not model knowledge digests"
+    try:
+        _policy_kind(get_policy(config.policy, **config.policy_parameters))
+    except ColumnarUnsupportedError as exc:
+        return str(exc)
+    faults = config.faults
+    if faults is not None and faults.enabled:
+        for field in _UNSUPPORTED_FAULTS:
+            if getattr(faults, field) > 0.0:
+                return (
+                    f"columnar engine does not model {field.split('_')[0]} "
+                    "faults"
+                )
+        if faults.truncation_probability > 0.0 and faults.truncation_unit != "items":
+            return "columnar engine models item-unit truncation only"
+    return None
+
+
+class ColumnarTrace:
+    """An encounter trace as flat columns (stdlib ``array`` module).
+
+    Hosts are interned: column ``a``/``b`` entries are indices into the
+    sorted ``hosts`` tuple.  Encounters are stored in the same order the
+    object engine processes them (time-sorted, ties in input order —
+    :class:`~repro.emulation.encounters.EncounterTrace` already sorts).
+    """
+
+    __slots__ = ("hosts", "times", "a", "b", "durations")
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        times: array,
+        a: array,
+        b: array,
+        durations: array,
+    ) -> None:
+        self.hosts: Tuple[str, ...] = tuple(hosts)
+        self.times = times
+        self.a = a
+        self.b = b
+        self.durations = durations
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last_day(self) -> int:
+        if not self.times:
+            return 0
+        return int(self.times[-1] // SECONDS_PER_DAY)
+
+    @classmethod
+    def from_trace(cls, trace: EncounterTrace) -> "ColumnarTrace":
+        hosts = tuple(sorted(trace.hosts))
+        host_id = {host: i for i, host in enumerate(hosts)}
+        times = array("d")
+        a = array("i")
+        b = array("i")
+        durations = array("d")
+        for encounter in trace:
+            times.append(encounter.time)
+            a.append(host_id[encounter.a])
+            b.append(host_id[encounter.b])
+            durations.append(encounter.duration)
+        return cls(hosts, times, a, b, durations)
+
+
+class ColumnarWorld:
+    """One run's worth of flat state plus the batched event loop."""
+
+    def __init__(
+        self,
+        trace: ColumnarTrace,
+        injections: Sequence[Injection],
+        *,
+        policy: str,
+        policy_parameters: Optional[Mapping[str, Any]] = None,
+        relay_sets: Optional[Mapping[str, FrozenSet[str]]] = None,
+        bandwidth_limit: Optional[int] = None,
+        faults: Optional[FaultConfig] = None,
+        fault_seed: int = 0,
+        seed: int = 0,
+        order_draws: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.trace = trace
+        self.hosts: Tuple[str, ...] = trace.hosts
+        n = len(self.hosts)
+        self._host_id: Dict[str, int] = {h: i for i, h in enumerate(self.hosts)}
+
+        # Address interning.  Host names take ids 0..n-1 (node id ==
+        # address id for a node's own name); any other destination
+        # address seen in the workload is appended on demand.
+        self._addr_id: Dict[str, int] = dict(self._host_id)
+
+        # Per-node filter match sets: {own address} ∪ relay addresses,
+        # mirroring MultiAddressFilter.
+        self._match: List[Set[int]] = []
+        relay_sets = relay_sets or {}
+        for i, host in enumerate(self.hosts):
+            match = {i}
+            for address in relay_sets.get(host, ()):
+                match.add(self._intern_address(address))
+            self._match.append(match)
+
+        # Per-node replication state.  The three holding dicts mirror
+        # the object engine's store → outbox → relay enumeration order;
+        # values are unused (insertion-ordered set semantics).
+        self._knowledge: List[Set[int]] = [set() for _ in range(n)]
+        self._store: List[Dict[int, None]] = [{} for _ in range(n)]
+        self._outbox: List[Dict[int, None]] = [{} for _ in range(n)]
+        self._relay: List[Dict[int, None]] = [{} for _ in range(n)]
+        # Policy-local attribute per (node, item): epidemic TTL or spray
+        # copy count.  One run has one policy, so a single dict per node
+        # suffices; absence means "never stamped" (None in the object
+        # engine's item.local()).
+        self._local: List[Dict[int, int]] = [{} for _ in range(n)]
+        self._serials = array("q", [0] * n)
+
+        # Item table (grows per injection).
+        self._item_dest = array("q")
+        self._item_origin = array("i")
+        self._holders = array("i")
+        self._item_ids: List[ItemId] = []
+        self._replica_ids: List[ReplicaId] = [ReplicaId(h) for h in self.hosts]
+
+        policy_instance = get_policy(policy, **dict(policy_parameters or {}))
+        self._kind, self._policy_param = _policy_kind(policy_instance)
+
+        self.bandwidth_limit = bandwidth_limit
+        self._rng = random.Random(seed)
+        self._order_draws = order_draws
+        self._injections = sorted(injections, key=lambda inj: inj.time)
+        self.skipped_injections: List[Injection] = []
+        self.failed_encounters = 0
+
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(faults, seed=fault_seed)
+            if faults is not None and faults.enabled
+            else None
+        )
+        # The object engine routes every sync through FaultyTransport
+        # whenever any channel model is armed; within the supported
+        # subset that means truncation and/or duplication.
+        self._transport_armed = self._injector is not None and (
+            self._injector._truncation is not None
+            or self._injector._duplication is not None
+        )
+
+        self.metrics = MetricsCollector()
+        # Sync counters accumulate locally and flush once in _finalize —
+        # a SyncStats object per sync would dominate the hot loop.
+        self._c_syncs = 0
+        self._c_encounters = 0
+        self._c_transmissions = 0
+        self._c_matching = 0
+        self._c_relayed = 0
+        self._c_truncated = 0
+        self._c_lost = 0
+        self._c_redundant = 0
+        self._c_interrupted = 0
+        self._c_store_items = 0
+        self._c_scanned = 0
+        self._c_index_skipped = 0
+
+    # -- interning ---------------------------------------------------------
+
+    def _intern_address(self, address: str) -> int:
+        addr_id = self._addr_id.get(address)
+        if addr_id is None:
+            addr_id = len(self._addr_id)
+            self._addr_id[address] = addr_id
+        return addr_id
+
+    # -- event loop --------------------------------------------------------
+
+    def run(
+        self, extra_days: int = 0, end_time: Optional[float] = None
+    ) -> MetricsCollector:
+        """Replay injections + encounters in event order; return metrics."""
+        times = self.trace.times
+        n_enc = len(times)
+        if end_time is None:
+            last_day = self.trace.last_day if n_enc else 0
+            end_time = float((last_day + 1 + extra_days) * SECONDS_PER_DAY)
+        injections = self._injections
+        n_inj = len(injections)
+        ii = 0
+        ei = 0
+        run_encounter = self._run_encounter
+        inject = self._inject
+        # Two-pointer merge replicating the engine heap: injections beat
+        # encounters on time ties (INJECT < ENCOUNTER priority), events
+        # past the horizon are never processed.
+        while ii < n_inj or ei < n_enc:
+            if ii < n_inj and (ei >= n_enc or injections[ii].time <= times[ei]):
+                if injections[ii].time > end_time:
+                    break
+                inject(injections[ii])
+                ii += 1
+            else:
+                if times[ei] > end_time:
+                    break
+                run_encounter(ei)
+                ei += 1
+        self._finalize(end_time)
+        return self.metrics
+
+    def _inject(self, injection: Injection) -> None:
+        nid = self._host_id.get(injection.source)
+        if nid is None:
+            # Bus-addressed workloads always name a node; mirror the
+            # object engine's record-rather-than-crash behaviour.
+            self.skipped_injections.append(injection)
+            return
+        serial = self._serials[nid]
+        self._serials[nid] = serial + 1
+        idx = len(self._item_ids)
+        item_id = ItemId(self._replica_ids[nid], serial)
+        self._item_ids.append(item_id)
+        dest = self._intern_address(injection.destination)
+        self._item_dest.append(dest)
+        self._item_origin.append(nid)
+        self._holders.append(1)
+        self._knowledge[nid].add(idx)
+        if dest in self._match[nid]:
+            self._store[nid][idx] = None
+        else:
+            self._outbox[nid][idx] = None
+        self.metrics.record_injection(
+            item_id,
+            injection.source,
+            injection.destination,
+            injection.time,
+            self.hosts[nid],
+        )
+        if dest == nid:
+            # Sender and recipient ride the same bus today: delivered at
+            # creation, exactly like the object engine's has_received
+            # check right after injection.
+            self.metrics.record_delivery(
+                item_id, injection.time, self.hosts[nid], 1
+            )
+
+    def _run_encounter(self, ei: int) -> None:
+        now = self.trace.times[ei]
+        ai = self.trace.a[ei]
+        bi = self.trace.b[ei]
+        if self._order_draws is not None:
+            order = bool(self._order_draws[ei])
+        else:
+            order = self._rng.random() < 0.5
+        injector = self._injector
+        if injector is not None:
+            name_a = self.hosts[ai]
+            name_b = self.hosts[bi]
+            if not injector.encounter_allowed(name_a, name_b, now):
+                self.metrics.record_backoff_skip()
+                return
+            if injector.should_drop_encounter():
+                self.failed_encounters += 1
+                self.metrics.record_dropped_encounter()
+                return
+        first, second = (ai, bi) if order else (bi, ai)
+        budget = self.bandwidth_limit
+        sent_a, interrupted_a = self._sync(first, second, now, budget)
+        if budget is not None:
+            budget = max(0, budget - sent_a)
+        _, interrupted_b = self._sync(second, first, now, budget)
+        self._c_encounters += 1
+        if injector is not None:
+            if injector.note_encounter_outcome(
+                name_a, name_b, now, interrupted=interrupted_a or interrupted_b
+            ):
+                self.metrics.record_resumed_pair()
+
+    def _sync(
+        self, src: int, tgt: int, now: float, budget: Optional[int]
+    ) -> Tuple[int, bool]:
+        """One directed sync; returns (sent_total, interrupted)."""
+        store_s = self._store[src]
+        outbox_s = self._outbox[src]
+        relay_s = self._relay[src]
+        store_size = len(store_s) + len(outbox_s) + len(relay_s)
+        tknow = self._knowledge[tgt]
+        tmatch = self._match[tgt]
+        dest = self._item_dest
+        kind = self._kind
+
+        # Candidate enumeration: store → outbox → relay insertion order,
+        # skipping what the target already knows (the object engine's
+        # items_unknown_to fast path yields exactly this sequence).
+        matched_ids: List[int] = []
+        normal_ids: List[int] = []
+        candidates = 0
+        if kind == _DIRECT:
+            for holding in (store_s, outbox_s, relay_s):
+                for i in holding:
+                    if i in tknow:
+                        continue
+                    candidates += 1
+                    if dest[i] in tmatch:
+                        matched_ids.append(i)
+        elif kind == _EPIDEMIC:
+            attr = self._local[src]
+            initial = self._policy_param
+            for holding in (store_s, outbox_s, relay_s):
+                for i in holding:
+                    if i in tknow:
+                        continue
+                    candidates += 1
+                    if dest[i] in tmatch:
+                        matched_ids.append(i)
+                    else:
+                        ttl = attr.get(i)
+                        if ttl is None:
+                            # Lazy stamp on first policy inspection,
+                            # mirroring EpidemicPolicy._current_ttl.
+                            ttl = initial
+                            attr[i] = ttl
+                        if ttl > 0:
+                            normal_ids.append(i)
+        elif kind == _SPRAY:
+            attr = self._local[src]
+            initial = self._policy_param
+            for holding in (store_s, outbox_s, relay_s):
+                for i in holding:
+                    if i in tknow:
+                        continue
+                    candidates += 1
+                    if dest[i] in tmatch:
+                        matched_ids.append(i)
+                    else:
+                        copies = attr.get(i)
+                        if copies is None:
+                            copies = initial
+                            attr[i] = copies
+                        if copies >= 2:
+                            normal_ids.append(i)
+        else:  # first contact
+            for holding in (store_s, outbox_s, relay_s):
+                for i in holding:
+                    if i in tknow:
+                        continue
+                    candidates += 1
+                    if dest[i] in tmatch:
+                        matched_ids.append(i)
+                    elif dest[i] != src:
+                        # FirstContactPolicy holds items addressed to
+                        # this node itself (local_addresses()).
+                        normal_ids.append(i)
+
+        # Bandwidth cap: filter matches (priority class 100) sort ahead
+        # of normal entries (20), ties broken by enumeration index — the
+        # capped batch is therefore a prefix of matched + normal.
+        n_matched = len(matched_ids)
+        total = n_matched + len(normal_ids)
+        truncated = 0
+        if budget is not None and total > budget:
+            truncated = total - budget
+            if budget <= n_matched:
+                batch = matched_ids[:budget]
+                sent_matching = budget
+            else:
+                batch = matched_ids + normal_ids[: budget - n_matched]
+                sent_matching = n_matched
+        else:
+            batch = matched_ids + normal_ids if normal_ids else matched_ids
+            sent_matching = n_matched
+        sent_total = len(batch)
+
+        # prepare_outgoing: snapshot shipped policy attributes before
+        # any on_items_sent mutation (spray halves *after* shipping).
+        shipped: Optional[List[int]] = None
+        if kind == _EPIDEMIC and batch:
+            attr = self._local[src]
+            initial = self._policy_param
+            shipped = [max(0, attr.get(i, initial) - 1) for i in batch]
+        elif kind == _SPRAY and batch:
+            attr = self._local[src]
+            shipped = []
+            for i in batch:
+                copies = attr.get(i)
+                shipped.append(
+                    1 if copies is None or copies < 2 else copies // 2
+                )
+
+        # Transport: replicate FaultyTransport.deliver's draw order on
+        # the injector rng (truncation plan, then one duplication draw
+        # per surviving stream entry).  An empty batch draws nothing.
+        interrupted = False
+        lost = 0
+        delivered_n = sent_total
+        dup_mask: Optional[List[bool]] = None
+        if self._transport_armed and batch:
+            injector = self._injector
+            assert injector is not None
+            rng = injector.rng
+            truncation = injector._truncation
+            if truncation is not None:
+                cut = truncation.plan_cut([1] * sent_total, rng)
+                if cut is not None:
+                    interrupted = True
+                    lost = sent_total - cut
+                    delivered_n = cut
+            duplication = injector._duplication
+            if duplication is not None and delivered_n:
+                dup_mask = duplication.duplicate_mask(delivered_n, rng)
+
+        # Source-side confirmation (each delivered entry once), *before*
+        # the target applies — perform_sync's order, which matters for
+        # first-contact holder counts at delivery time.
+        if kind == _SPRAY and delivered_n:
+            attr = self._local[src]
+            for pos in range(delivered_n):
+                i = batch[pos]
+                copies = attr.get(i)
+                if copies is not None and copies >= 2:
+                    attr[i] = copies - copies // 2
+        elif kind == _FIRST_CONTACT and delivered_n:
+            holders = self._holders
+            for pos in range(delivered_n):
+                i = batch[pos]
+                if i in store_s:
+                    del store_s[i]
+                elif i in outbox_s:
+                    del outbox_s[i]
+                elif i in relay_s:
+                    del relay_s[i]
+                else:
+                    continue
+                holders[i] -= 1
+
+        # Target-side apply.  Duplicated frames arrive adjacent; with a
+        # faulty transport the object engine tolerates them as redundant
+        # (knowledge already contains the version).
+        redundant = 0
+        tstore = self._store[tgt]
+        trelay = self._relay[tgt]
+        tattr = self._local[tgt] if shipped is not None else None
+        holders = self._holders
+        metrics = self.metrics
+        item_ids = self._item_ids
+        tgt_name = self.hosts[tgt]
+        tolerate = self._transport_armed
+        for pos in range(delivered_n):
+            i = batch[pos]
+            repeats = 2 if dup_mask is not None and dup_mask[pos] else 1
+            for _ in range(repeats):
+                if tolerate and i in tknow:
+                    redundant += 1
+                    continue
+                tknow.add(i)
+                if tattr is not None:
+                    assert shipped is not None
+                    tattr[i] = shipped[pos]
+                holders[i] += 1
+                if dest[i] in tmatch:
+                    tstore[i] = None
+                    if dest[i] == tgt:
+                        metrics.record_delivery(
+                            item_ids[i], now, tgt_name, holders[i]
+                        )
+                else:
+                    trelay[i] = None
+
+        self._c_syncs += 1
+        self._c_transmissions += sent_total
+        self._c_matching += sent_matching
+        self._c_relayed += sent_total - sent_matching
+        self._c_truncated += truncated
+        self._c_lost += lost
+        self._c_redundant += redundant
+        self._c_store_items += store_size
+        self._c_scanned += candidates
+        self._c_index_skipped += store_size - candidates
+        if interrupted:
+            self._c_interrupted += 1
+        return sent_total, interrupted
+
+    def _finalize(self, end_time: float) -> None:
+        m = self.metrics
+        m.syncs += self._c_syncs
+        m.encounters += self._c_encounters
+        m.transmissions += self._c_transmissions
+        m.matching_transmissions += self._c_matching
+        m.relayed_transmissions += self._c_relayed
+        m.truncated_transmissions += self._c_truncated
+        m.lost_transmissions += self._c_lost
+        m.redundant_transmissions += self._c_redundant
+        m.interrupted_syncs += self._c_interrupted
+        m.store_items_at_sync += self._c_store_items
+        m.items_scanned += self._c_scanned
+        m.index_skipped += self._c_index_skipped
+        m.end_time = end_time
+        holders = self._holders
+        index_of = {item_id: i for i, item_id in enumerate(self._item_ids)}
+        for record in m.records.values():
+            idx = index_of.get(record.message_id)
+            if idx is not None:
+                record.copies_at_end = int(holders[idx])
+
+    # -- introspection (tests / equivalence harness) -----------------------
+
+    def knowledge_of(self, host: str) -> FrozenSet[str]:
+        """Known versions of ``host`` as ``"origin:counter"`` strings."""
+        nid = self._host_id[host]
+        origin = self._item_origin
+        item_ids = self._item_ids
+        # Versions replicate IdFactory: the k-th item authored at a node
+        # carries counter k+1 (serial k).
+        return frozenset(
+            f"{self.hosts[origin[i]]}:{item_ids[i].serial + 1}"
+            for i in self._knowledge[nid]
+        )
+
+    def holdings_of(self, host: str) -> Tuple[str, ...]:
+        """Stored item ids of ``host`` in enumeration order."""
+        nid = self._host_id[host]
+        ids = self._item_ids
+        out: List[str] = []
+        for holding in (self._store[nid], self._outbox[nid], self._relay[nid]):
+            out.extend(str(ids[i]) for i in holding)
+        return tuple(out)
+
+
+# -- config-driven entry points -------------------------------------------
+
+
+def _relay_sets(config: Any, trace: EncounterTrace) -> Dict[str, FrozenSet[str]]:
+    """Figure 5/6 relay sets, drawing the filter rng in scenario order."""
+    hosts = sorted(trace.hosts)
+    if config.filter_strategy == "self" or config.filter_k == 0:
+        return {host: frozenset() for host in hosts}
+    from repro.experiments.scenario import _bus_relay_addresses
+
+    filter_rng = random.Random(config.filter_seed)
+    return {
+        host: _bus_relay_addresses(host, config, trace, filter_rng)
+        for host in hosts
+    }
+
+
+def _build_inputs(
+    config: Any,
+    trace: Optional[EncounterTrace],
+    model: Optional[Any],
+) -> Tuple[EncounterTrace, List[Injection], Dict[str, FrozenSet[str]]]:
+    """Reproduce build_scenario's generator calls (same seeds, same order)."""
+    from repro.traces.dieselnet import DieselNetConfig, generate_dieselnet_trace
+    from repro.traces.enron import generate_enron_model
+    from repro.traces.mapping import assign_users_daily
+    from repro.traces.workload import WorkloadConfig, build_injection_schedule
+
+    if trace is None:
+        trace = generate_dieselnet_trace(
+            DieselNetConfig(seed=config.trace_seed, scale=config.scale)
+        )
+    if model is None:
+        model = generate_enron_model(
+            n_users=config.effective_users, seed=config.email_seed
+        )
+    users = list(model.users)
+    assignments = assign_users_daily(trace, users, seed=config.assignment_seed)
+    injections = build_injection_schedule(
+        model,
+        assignments,
+        WorkloadConfig(
+            target_total=config.effective_messages,
+            injection_days=config.injection_days,
+            seed=config.workload_seed,
+            addressing=config.addressing,
+        ),
+    )
+    return trace, injections, _relay_sets(config, trace)
+
+
+def build_world(
+    config: Any,
+    trace: Optional[EncounterTrace] = None,
+    model: Optional[Any] = None,
+) -> Tuple[ColumnarWorld, EncounterTrace]:
+    """Construct a ready-to-run :class:`ColumnarWorld` for ``config``."""
+    reason = columnar_unsupported_reason(config)
+    if reason is not None:
+        raise ColumnarUnsupportedError(reason)
+    trace, injections, relay_sets = _build_inputs(config, trace, model)
+    world = ColumnarWorld(
+        ColumnarTrace.from_trace(trace),
+        injections,
+        policy=config.policy,
+        policy_parameters=config.policy_parameters,
+        relay_sets=relay_sets,
+        bandwidth_limit=config.bandwidth_limit,
+        faults=config.faults,
+        fault_seed=config.fault_seed,
+        seed=config.encounter_order_seed,
+    )
+    return world, trace
+
+
+def run_columnar(
+    config: Any,
+    trace: Optional[EncounterTrace] = None,
+    model: Optional[Any] = None,
+    extra_days: int = 0,
+) -> Tuple[MetricsCollector, Dict[str, float]]:
+    """Run ``config`` on the columnar engine.
+
+    Returns ``(metrics, trace_summary)`` so the caller (normally
+    :func:`repro.experiments.runner.run_experiment`) can wrap them in an
+    :class:`~repro.experiments.runner.ExperimentResult` without a
+    circular import.
+    """
+    world, trace = build_world(config, trace, model)
+    trace_summary = trace.summary()
+    metrics = world.run(extra_days=extra_days)
+    return metrics, trace_summary
+
+
+#: Metric counters outside the equivalence contract: the columnar core
+#: has no filter/checksum caches and never serialises metadata, so these
+#: stay at zero while the object engine counts real cache traffic.
+UNREPLICATED_COUNTERS: Tuple[str, ...] = (
+    "filter_cache_hits",
+    "filter_cache_misses",
+    "filter_cache_invalidations",
+    "checksum_cache_hits",
+    "checksum_cache_misses",
+    "checksum_cache_invalidations",
+    "metadata_bytes",
+)
+
+
+def comparable_metrics(metrics: MetricsCollector) -> Dict[str, Any]:
+    """``metrics.to_dict()`` restricted to the equivalence contract.
+
+    Both the equivalence tests and ``repro bench scale`` compare engines
+    through this view: everything in :meth:`MetricsCollector.to_dict`
+    except :data:`UNREPLICATED_COUNTERS`.
+    """
+    data = metrics.to_dict()
+    for key in UNREPLICATED_COUNTERS:
+        data.pop(key, None)
+    return data
+
+
+# -- sharding --------------------------------------------------------------
+
+
+def trace_components(trace: ColumnarTrace) -> List[List[int]]:
+    """Connected components of the encounter graph (union-find).
+
+    Returns lists of host ids; hosts that never meet anyone form
+    singleton components.  Items can only travel within a component, so
+    components are the safe unit of parallel partitioning.
+    """
+    n = len(trace.hosts)
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for a, b in zip(trace.a, trace.b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+    groups: Dict[int, List[int]] = {}
+    for host in range(n):
+        groups.setdefault(find(host), []).append(host)
+    return sorted(groups.values())
+
+
+def plan_shards(
+    trace: ColumnarTrace, shards: int
+) -> List[Tuple[List[int], int]]:
+    """Pack trace components into ≤ ``shards`` balanced shards.
+
+    Returns ``[(host_ids, encounter_count), ...]``; balancing greedily
+    assigns the heaviest components (by encounter count) first.
+    """
+    components = trace_components(trace)
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    enc_per_host: Dict[int, int] = {}
+    for a, b in zip(trace.a, trace.b):
+        enc_per_host[a] = enc_per_host.get(a, 0) + 1
+        enc_per_host[b] = enc_per_host.get(b, 0) + 1
+    weighted = sorted(
+        (
+            (sum(enc_per_host.get(h, 0) for h in comp), comp)
+            for comp in components
+        ),
+        key=lambda pair: (-pair[0], pair[1]),
+    )
+    n_shards = min(shards, len(components))
+    bins: List[Tuple[List[int], int]] = [([], 0) for _ in range(n_shards)]
+    for weight, comp in weighted:
+        lightest = min(range(n_shards), key=lambda i: bins[i][1])
+        hosts, total = bins[lightest]
+        hosts.extend(comp)
+        bins[lightest] = (hosts, total + weight)
+    return [(sorted(hosts), total // 2) for hosts, total in bins if hosts]
+
+
+def merge_metrics(parts: Iterable[MetricsCollector]) -> MetricsCollector:
+    """Deterministically merge per-shard collectors (disjoint records)."""
+    merged = MetricsCollector()
+    for part in parts:
+        for message_id, record in part.records.items():
+            if message_id in merged.records:
+                raise ValueError(
+                    f"shards overlap on message {message_id}"
+                )
+            merged.records[message_id] = record
+        merged.end_time = max(merged.end_time, part.end_time)
+        for name in (
+            "encounters",
+            "dropped_encounters",
+            "backoff_skips",
+            "quarantine_skips",
+            "resumed_pairs",
+            "syncs",
+            "interrupted_syncs",
+            "transmissions",
+            "matching_transmissions",
+            "relayed_transmissions",
+            "truncated_transmissions",
+            "lost_transmissions",
+            "redundant_transmissions",
+            "quarantined_entries",
+            "rejected_knowledge",
+            "evictions",
+            "crashes",
+            "store_items_at_sync",
+            "items_scanned",
+            "index_skipped",
+            "filter_cache_hits",
+            "filter_cache_misses",
+            "filter_cache_invalidations",
+            "checksum_cache_hits",
+            "checksum_cache_misses",
+            "checksum_cache_invalidations",
+            "metadata_bytes",
+            "digest_syncs",
+            "digest_suppressed",
+            "fp_resends",
+        ):
+            setattr(merged, name, getattr(merged, name) + getattr(part, name))
+        for kind, count in part.protocol_violations.items():
+            merged.protocol_violations[kind] = (
+                merged.protocol_violations.get(kind, 0) + count
+            )
+        for label, count in part.peer_health_transitions.items():
+            merged.peer_health_transitions[label] = (
+                merged.peer_health_transitions.get(label, 0) + count
+            )
+    return merged
+
+
+def _shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one shard inside a worker process (spawn-safe, module level)."""
+    from multiprocessing import shared_memory
+
+    # Workers are spawned by the pool, so they share the parent's
+    # resource tracker: attaching here neither re-registers nor unlinks
+    # the segment — the parent alone owns cleanup.
+    shm = shared_memory.SharedMemory(name=payload["shm"])
+    try:
+        n_enc = payload["n_enc"]
+        buf = shm.buf
+        off_times, off_a, off_b, off_order, off_shard = payload["offsets"]
+        times = buf[off_times : off_times + 8 * n_enc].cast("d")
+        enc_a = buf[off_a : off_a + 4 * n_enc].cast("i")
+        enc_b = buf[off_b : off_b + 4 * n_enc].cast("i")
+        order = buf[off_order : off_order + n_enc]
+        shard_of = buf[off_shard : off_shard + n_enc]
+        shard_id = payload["shard_id"]
+        global_hosts = payload["global_hosts"]
+        host_ids = payload["host_ids"]
+        local_of = {g: l for l, g in enumerate(host_ids)}
+        hosts = tuple(global_hosts[g] for g in host_ids)
+
+        l_times = array("d")
+        l_a = array("i")
+        l_b = array("i")
+        l_order = array("b")
+        for k in range(n_enc):
+            if shard_of[k] != shard_id:
+                continue
+            l_times.append(times[k])
+            l_a.append(local_of[enc_a[k]])
+            l_b.append(local_of[enc_b[k]])
+            l_order.append(order[k])
+        del times, enc_a, enc_b, order, shard_of, buf
+    finally:
+        shm.close()
+
+    injections = [Injection(*tup) for tup in payload["injections"]]
+    relay_sets = {
+        host: frozenset(addresses)
+        for host, addresses in payload["relay_sets"].items()
+    }
+    world = ColumnarWorld(
+        ColumnarTrace(hosts, l_times, l_a, l_b, array("d", bytes(8) * len(l_times))),
+        injections,
+        policy=payload["policy"],
+        policy_parameters=payload["policy_parameters"],
+        relay_sets=relay_sets,
+        bandwidth_limit=payload["bandwidth_limit"],
+        faults=None,
+        seed=0,
+        order_draws=l_order,
+    )
+    metrics = world.run(end_time=payload["end_time"])
+    return {
+        "metrics": metrics.to_dict(),
+        "skipped": len(world.skipped_injections),
+        "knowledge": None,
+    }
+
+
+def run_columnar_sharded(
+    config: Any,
+    trace: Optional[EncounterTrace] = None,
+    model: Optional[Any] = None,
+    extra_days: int = 0,
+    shards: int = 2,
+) -> Tuple[MetricsCollector, Dict[str, float]]:
+    """Run ``config`` partitioned across worker processes.
+
+    Shards are unions of encounter-graph components, the trace columns
+    travel via shared memory, and the encounter-order coin flips are
+    precomputed in global trace order so each shard consumes exactly
+    the draws a global run would have given it.  Requires
+    ``config.faults`` to be None/disabled — the injector rng is a
+    single global stream that cannot be split.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import get_context, shared_memory
+
+    reason = columnar_unsupported_reason(config)
+    if reason is not None:
+        raise ColumnarUnsupportedError(reason)
+    if config.faults is not None and config.faults.enabled:
+        raise ColumnarUnsupportedError(
+            "sharded columnar runs require faults=None (the fault "
+            "injector draws from one global rng stream)"
+        )
+    trace, injections, relay_sets = _build_inputs(config, trace, model)
+    trace_summary = trace.summary()
+    ctrace = ColumnarTrace.from_trace(trace)
+    n_enc = len(ctrace)
+    plan = plan_shards(ctrace, shards)
+    if len(plan) <= 1:
+        # One connected component: nothing to partition.
+        world = ColumnarWorld(
+            ctrace,
+            injections,
+            policy=config.policy,
+            policy_parameters=config.policy_parameters,
+            relay_sets=relay_sets,
+            bandwidth_limit=config.bandwidth_limit,
+            faults=None,
+            seed=config.encounter_order_seed,
+        )
+        return world.run(extra_days=extra_days), trace_summary
+
+    # Precompute per-encounter order draws in global order.
+    rng = random.Random(config.encounter_order_seed)
+    order = bytearray(n_enc)
+    for k in range(n_enc):
+        if rng.random() < 0.5:
+            order[k] = 1
+
+    # Shard membership per encounter (every encounter stays inside one
+    # component, hence one shard).
+    shard_of_host: Dict[int, int] = {}
+    for sid, (host_ids, _weight) in enumerate(plan):
+        for h in host_ids:
+            shard_of_host[h] = sid
+    shard_of = bytearray(n_enc)
+    for k in range(n_enc):
+        shard_of[k] = shard_of_host[ctrace.a[k]]
+
+    end_time = float((ctrace.last_day + 1 + extra_days) * SECONDS_PER_DAY)
+
+    # Pack the shared columns: times | a | b | order | shard_of.
+    times_b = ctrace.times.tobytes()
+    a_b = ctrace.a.tobytes()
+    b_b = ctrace.b.tobytes()
+    offsets = []
+    total = 0
+    for blob in (times_b, a_b, b_b, bytes(order), bytes(shard_of)):
+        offsets.append(total)
+        total += len(blob)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    try:
+        cursor = 0
+        for blob in (times_b, a_b, b_b, bytes(order), bytes(shard_of)):
+            shm.buf[cursor : cursor + len(blob)] = blob
+            cursor += len(blob)
+
+        host_name_to_shard = {
+            ctrace.hosts[h]: sid
+            for sid, (host_ids, _weight) in enumerate(plan)
+            for h in host_ids
+        }
+        shard_injections: List[List[Tuple[float, str, str, Any]]] = [
+            [] for _ in plan
+        ]
+        skipped = 0
+        for inj in injections:
+            sid = host_name_to_shard.get(inj.source)
+            if sid is None:
+                skipped += 1
+                continue
+            shard_injections[sid].append(
+                (inj.time, inj.source, inj.destination, inj.body)
+            )
+        payloads = []
+        for sid, (host_ids, _weight) in enumerate(plan):
+            payloads.append(
+                {
+                    "shm": shm.name,
+                    "n_enc": n_enc,
+                    "offsets": offsets,
+                    "shard_id": sid,
+                    "global_hosts": ctrace.hosts,
+                    "host_ids": host_ids,
+                    "injections": shard_injections[sid],
+                    "relay_sets": {
+                        ctrace.hosts[h]: sorted(
+                            relay_sets.get(ctrace.hosts[h], frozenset())
+                        )
+                        for h in host_ids
+                    },
+                    "policy": config.policy,
+                    "policy_parameters": dict(config.policy_parameters),
+                    "bandwidth_limit": config.bandwidth_limit,
+                    "end_time": end_time,
+                }
+            )
+        context = get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=len(payloads), mp_context=context
+        ) as pool:
+            results = list(pool.map(_shard_worker, payloads))
+    finally:
+        shm.close()
+        shm.unlink()
+
+    parts = [MetricsCollector.from_dict(r["metrics"]) for r in results]
+    merged = merge_metrics(parts)
+    merged.end_time = end_time
+    return merged, trace_summary

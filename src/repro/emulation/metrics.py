@@ -145,6 +145,15 @@ class MetricsCollector:
     fp_resends: int = 0
     end_time: float = 0.0
 
+    # Memory accounting (deliberately *not* dataclass fields: to_dict()
+    # iterates fields(), and run artifacts must stay byte-identical and
+    # independent of what else the hosting process did — peak RSS is
+    # process-wide and monotone, so stamping it automatically would
+    # break sequential-run determinism).  Benches opt in by calling
+    # record_memory() before reading summary().
+    peak_rss_bytes = 0.0
+    tracemalloc_peak_bytes = 0.0
+
     # -- recording ------------------------------------------------------------------
 
     def record_injection(
@@ -236,6 +245,25 @@ class MetricsCollector:
         self.peer_health_transitions[label] = (
             self.peer_health_transitions.get(label, 0) + 1
         )
+
+    def record_memory(self) -> None:
+        """Stamp current peak memory usage onto this collector (opt-in).
+
+        Captures the process-wide peak RSS (``ru_maxrss``; kibibytes on
+        Linux, bytes on macOS) and, when :mod:`tracemalloc` is tracing,
+        the traced-allocation peak.  Neither value enters ``to_dict()``:
+        they are measurement-host facts, not run results.
+        """
+        import resource
+        import sys
+        import tracemalloc
+
+        maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        scale = 1 if sys.platform == "darwin" else 1024
+        self.peak_rss_bytes = float(maxrss * scale)
+        if tracemalloc.is_tracing():
+            _current, peak = tracemalloc.get_traced_memory()
+            self.tracemalloc_peak_bytes = float(peak)
 
     # -- aggregate views ----------------------------------------------------------------
 
@@ -445,4 +473,6 @@ class MetricsCollector:
                 self.mean_copies_at_delivery() or float("nan")
             ),
             "mean_copies_at_end": (self.mean_copies_at_end() or float("nan")),
+            "peak_rss_bytes": float(self.peak_rss_bytes),
+            "tracemalloc_peak_bytes": float(self.tracemalloc_peak_bytes),
         }

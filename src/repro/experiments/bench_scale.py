@@ -1,0 +1,310 @@
+"""Scale benchmark: the columnar core vs the object engine, at city scale.
+
+``repro bench scale`` records two things into ``BENCH_scale.json``:
+
+* **Matched comparison** — the object engine and the columnar core run
+  the *same* ~50-bus metro scenario; the artifact reports wall clock
+  per encounter for both, the speedup, and (gate on by default) whether
+  the two runs were equivalent under the columnar contract: identical
+  message records and metric totals except the three counters the flat
+  core deliberately leaves at zero (``filter_cache_*``,
+  ``checksum_cache_*``, ``metadata_bytes``).
+* **Scale curve** — a nodes × encounters ladder of columnar-only runs
+  over metro-DieselNet traces (:class:`~repro.traces.dieselnet.
+  MetroConfig`), each executed in a fresh worker process so its peak
+  RSS is the run's own footprint, not the bench harness's history.
+  Rows report trace/build/run wall clock, µs per encounter, and peak
+  RSS from :meth:`MetricsCollector.record_memory`.  Points with
+  ``shards > 1`` exercise :func:`~repro.emulation.columnar.
+  run_columnar_sharded` (their trace uses ``interchange_rate=0`` so the
+  route components are partitionable).
+
+The ``full`` preset's top point is ≥50k buses / ≥1M encounters — the
+city-scale target from the roadmap.  ``smoke`` stays under 2k buses for
+CI; ``tiny`` exists for the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.emulation.columnar import (
+    build_world,
+    columnar_unsupported_reason,
+    comparable_metrics,
+    run_columnar_sharded,
+)
+from repro.traces.dieselnet import MetroConfig, generate_metro_trace
+
+from .config import ExperimentConfig
+from .runner import run_experiment
+
+__all__ = [
+    "PRESETS",
+    "ScaleBenchConfig",
+    "ScalePoint",
+    "run_scale_bench",
+    "write_scale_bench",
+]
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One rung of the scale ladder (a metro trace + workload shape)."""
+
+    n_buses: int
+    n_routes: int
+    days: int
+    messages: int = 500
+    users: int = 200
+    shards: int = 1
+    interchange_rate: float = 4.0
+
+
+#: Named ladders. ``smoke`` must stay ≤2k buses (the CI scale-smoke job);
+#: ``full``'s top point carries the ≥50k-node / ≥1M-encounter claim.
+PRESETS: Dict[str, Tuple[ScalePoint, ...]] = {
+    "tiny": (ScalePoint(60, 3, 2, messages=40, users=30),),
+    "smoke": (
+        ScalePoint(500, 10, 3, messages=200, users=100),
+        ScalePoint(2000, 40, 3, messages=300, users=150),
+    ),
+    "full": (
+        ScalePoint(1000, 20, 6),
+        ScalePoint(5000, 100, 6),
+        ScalePoint(20000, 400, 6, shards=4, interchange_rate=0.0),
+        ScalePoint(50000, 1000, 6, messages=2000, users=1000),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ScaleBenchConfig:
+    """Shape of the benchmark (defaults: the recorded artifact)."""
+
+    preset: str = "full"
+    policy: str = "epidemic"
+    seed: int = 42
+    min_speedup: float = 5.0
+    equivalence: bool = True
+    #: Drop curve points above this many buses (CI trims the ladder).
+    max_nodes: Optional[int] = None
+    #: Run curve points in-process instead of one worker process per
+    #: point.  Faster for tests; per-point RSS then reflects the whole
+    #: bench process and is reported as such.
+    in_process: bool = False
+    comparison_buses: int = 50
+    comparison_days: int = 10
+
+    def __post_init__(self) -> None:
+        if self.preset not in PRESETS:
+            raise ValueError(
+                f"unknown preset {self.preset!r}; available: "
+                f"{', '.join(sorted(PRESETS))}"
+            )
+        if self.min_speedup <= 0:
+            raise ValueError("min_speedup must be > 0")
+        try:
+            reason = columnar_unsupported_reason(
+                ExperimentConfig(policy=self.policy, engine="columnar")
+            )
+        except KeyError as exc:
+            raise ValueError(str(exc)) from exc
+        if reason is not None:
+            raise ValueError(reason)
+
+    def points(self) -> List[ScalePoint]:
+        ladder = list(PRESETS[self.preset])
+        if self.max_nodes is not None:
+            ladder = [p for p in ladder if p.n_buses <= self.max_nodes]
+        return ladder
+
+
+def _experiment_config(
+    policy: str, seed: int, users: int, messages: int, engine: str
+) -> ExperimentConfig:
+    return ExperimentConfig(
+        policy=policy,
+        engine=engine,
+        n_users=users,
+        target_messages=messages,
+        trace_seed=seed,
+    )
+
+
+def _run_comparison(config: ScaleBenchConfig) -> Dict[str, Any]:
+    """Object vs columnar on one matched mid-size metro scenario."""
+    trace = generate_metro_trace(
+        MetroConfig(
+            seed=config.seed,
+            n_buses=config.comparison_buses,
+            n_routes=max(2, config.comparison_buses // 12),
+            days=config.comparison_days,
+        )
+    )
+    users = max(6, config.comparison_buses)
+    messages = max(10, config.comparison_buses * 3)
+
+    object_config = _experiment_config(
+        config.policy, config.seed, users, messages, "object"
+    )
+    started = time.perf_counter()
+    object_result = run_experiment(object_config, trace=trace)
+    object_wall = time.perf_counter() - started
+
+    columnar_config = _experiment_config(
+        config.policy, config.seed, users, messages, "columnar"
+    )
+    started = time.perf_counter()
+    columnar_result = run_experiment(columnar_config, trace=trace)
+    columnar_wall = time.perf_counter() - started
+
+    encounters = len(trace)
+    equivalent: Optional[bool] = None
+    mismatched: List[str] = []
+    if config.equivalence:
+        object_dict = comparable_metrics(object_result.metrics)
+        columnar_dict = comparable_metrics(columnar_result.metrics)
+        equivalent = object_dict == columnar_dict
+        if not equivalent:
+            mismatched = sorted(
+                key
+                for key in object_dict
+                if object_dict[key] != columnar_dict.get(key)
+            )
+    speedup = object_wall / columnar_wall if columnar_wall else float("inf")
+    return {
+        "n_buses": config.comparison_buses,
+        "days": config.comparison_days,
+        "encounters": encounters,
+        "policy": config.policy,
+        "object": {
+            "wall_clock_s": round(object_wall, 4),
+            "us_per_encounter": round(1e6 * object_wall / encounters, 2),
+        },
+        "columnar": {
+            "wall_clock_s": round(columnar_wall, 4),
+            "us_per_encounter": round(1e6 * columnar_wall / encounters, 2),
+        },
+        "speedup_wall_clock": round(speedup, 2),
+        "equivalence_checked": config.equivalence,
+        "equivalent": equivalent,
+        "mismatched_keys": mismatched,
+    }
+
+
+def _curve_point(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Measure one ladder rung (runs inside a worker process)."""
+    point = ScalePoint(**payload["point"])
+    seed = payload["seed"]
+    policy = payload["policy"]
+
+    started = time.perf_counter()
+    trace = generate_metro_trace(
+        MetroConfig(
+            seed=seed,
+            n_buses=point.n_buses,
+            n_routes=point.n_routes,
+            days=point.days,
+            interchange_rate=point.interchange_rate,
+        )
+    )
+    trace_wall = time.perf_counter() - started
+    encounters = len(trace)
+
+    config = _experiment_config(
+        policy, seed, point.users, point.messages, "columnar"
+    )
+    if point.shards > 1:
+        # The sharded runner builds its own inputs; its wall clock is
+        # therefore build + run (flagged in the row).
+        started = time.perf_counter()
+        metrics, _summary = run_columnar_sharded(
+            config, trace=trace, shards=point.shards
+        )
+        run_wall = time.perf_counter() - started
+        build_wall = 0.0
+        run_includes_build = True
+    else:
+        started = time.perf_counter()
+        world, _trace = build_world(config, trace=trace)
+        build_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        metrics = world.run()
+        run_wall = time.perf_counter() - started
+        run_includes_build = False
+
+    metrics.record_memory()
+    summary = metrics.summary()
+    return {
+        **asdict(point),
+        "encounters": encounters,
+        "injected": int(summary["injected"]),
+        "delivered": int(summary["delivered"]),
+        "delivery_ratio": round(summary["delivery_ratio"], 4),
+        "trace_wall_clock_s": round(trace_wall, 4),
+        "build_wall_clock_s": round(build_wall, 4),
+        "run_wall_clock_s": round(run_wall, 4),
+        "run_includes_build": run_includes_build,
+        "us_per_encounter": round(1e6 * run_wall / max(1, encounters), 3),
+        "peak_rss_mb": round(summary["peak_rss_bytes"] / (1024 * 1024), 1),
+        "tracemalloc_peak_mb": round(
+            summary["tracemalloc_peak_bytes"] / (1024 * 1024), 1
+        ),
+    }
+
+
+def run_scale_bench(
+    config: ScaleBenchConfig = ScaleBenchConfig(),
+) -> Dict[str, Any]:
+    """Run the matched comparison plus the scale curve; build the report."""
+    comparison = _run_comparison(config)
+    curve: List[Dict[str, Any]] = []
+    points = config.points()
+    payloads = [
+        {"point": asdict(point), "seed": config.seed, "policy": config.policy}
+        for point in points
+    ]
+    if config.in_process:
+        curve = [_curve_point(payload) for payload in payloads]
+    else:
+        # One worker process per rung: each row's peak RSS is that run's
+        # own footprint rather than the bench harness's high-water mark.
+        from concurrent.futures import ProcessPoolExecutor
+        from multiprocessing import get_context
+
+        context = get_context("spawn")
+        for payload in payloads:
+            with ProcessPoolExecutor(
+                max_workers=1, mp_context=context
+            ) as pool:
+                curve.append(pool.submit(_curve_point, payload).result())
+    return {
+        "benchmark": "scale",
+        "preset": config.preset,
+        "policy": config.policy,
+        "seed": config.seed,
+        "cpu_count": os.cpu_count(),
+        "per_point_processes": not config.in_process,
+        "comparison": comparison,
+        "min_speedup": config.min_speedup,
+        "speedup_ok": comparison["speedup_wall_clock"] >= config.min_speedup,
+        "curve": curve,
+        "max_nodes": max((row["n_buses"] for row in curve), default=0),
+        "max_encounters": max((row["encounters"] for row in curve), default=0),
+    }
+
+
+def write_scale_bench(
+    report: Dict[str, Any], path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Persist a :func:`run_scale_bench` report as ``BENCH_scale.json``."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return target

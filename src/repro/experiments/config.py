@@ -98,6 +98,12 @@ class ExperimentConfig:
     knowledge_digest: bool = False
     digest_fp_rate: float = 0.05
 
+    # Emulation engine: "object" is the executable spec
+    # (repro.emulation.network); "columnar" is the flat-array core for
+    # city-scale runs (repro.emulation.columnar), equivalent on its
+    # supported subset and loudly rejecting anything else.
+    engine: str = "object"
+
     # Determinism knobs.
     assignment_seed: int = 5
     workload_seed: int = 99
@@ -128,6 +134,8 @@ class ExperimentConfig:
             raise ValueError("storage_limit must be >= 0 or None")
         if not 0.0 < self.digest_fp_rate < 0.5:
             raise ValueError("digest_fp_rate must be in (0, 0.5)")
+        if self.engine not in ("object", "columnar"):
+            raise ValueError("engine must be 'object' or 'columnar'")
 
     @property
     def effective_users(self) -> int:
@@ -169,6 +177,8 @@ class ExperimentConfig:
             parts.append("faults")
         if self.knowledge_digest:
             parts.append(f"digest@{self.digest_fp_rate:g}")
+        if self.engine != "object":
+            parts.append(self.engine)
         if self.trace_seed != 42:
             parts.append(f"seed={self.trace_seed}")
         return " ".join(parts)

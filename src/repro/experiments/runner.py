@@ -69,7 +69,23 @@ def run_experiment(
     model: Optional[EmailWorkloadModel] = None,
     extra_days: int = 0,
 ) -> ExperimentResult:
-    """Build the scenario for ``config``, run it, and collect metrics."""
+    """Build the scenario for ``config``, run it, and collect metrics.
+
+    ``config.engine`` selects the emulation core: ``"object"`` (default)
+    builds the full per-node object scenario; ``"columnar"`` runs the
+    flat-array core (:mod:`repro.emulation.columnar`), which raises
+    :class:`~repro.emulation.columnar.ColumnarUnsupportedError` for
+    configurations outside its verified subset.
+    """
+    if config.engine == "columnar":
+        from repro.emulation.columnar import run_columnar
+
+        metrics, trace_summary = run_columnar(
+            config, trace=trace, model=model, extra_days=extra_days
+        )
+        return ExperimentResult(
+            config=config, metrics=metrics, trace_summary=trace_summary
+        )
     scenario = build_scenario(config, trace=trace, model=model)
     return run_scenario(scenario, extra_days=extra_days)
 

@@ -1,0 +1,155 @@
+"""The columnar engine reproduces the object engine draw-for-draw.
+
+These tests are the correctness gate for ``engine="columnar"``: on its
+supported subset the flat-array core must produce *identical* results —
+every message record, every counter inside the equivalence contract
+(:func:`repro.emulation.columnar.comparable_metrics`), and the final
+per-node knowledge and holdings — across policies, filter strategies,
+bandwidth caps, and the supported fault models. Anything outside the
+subset must be rejected loudly, never silently approximated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.emulation.columnar import (
+    ColumnarUnsupportedError,
+    build_world,
+    columnar_unsupported_reason,
+    comparable_metrics,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenario import build_scenario
+from repro.faults import FaultConfig
+
+#: Supported faults only: drop + item-unit truncation + duplication.
+SUPPORTED_FAULTS = FaultConfig(
+    encounter_drop_probability=0.1,
+    truncation_probability=0.2,
+    truncation_min=1,
+    truncation_max=3,
+    duplication_probability=0.15,
+)
+
+
+def _config(policy: str, faults=None, **overrides) -> ExperimentConfig:
+    base = dict(scale=0.25, policy=policy, faults=faults)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def _both_engines(config: ExperimentConfig):
+    object_result = run_experiment(replace(config, engine="object"))
+    columnar_result = run_experiment(replace(config, engine="columnar"))
+    return object_result, columnar_result
+
+
+@pytest.mark.parametrize("faulted", [False, True], ids=["clean", "faults"])
+@pytest.mark.parametrize(
+    "policy", ["cimbiosys", "epidemic", "spray", "first-contact"]
+)
+def test_engines_agree(policy, faulted):
+    """Identical comparable metrics across policies, faults on and off."""
+    config = _config(policy, faults=SUPPORTED_FAULTS if faulted else None)
+    object_result, columnar_result = _both_engines(config)
+    assert comparable_metrics(object_result.metrics) == comparable_metrics(
+        columnar_result.metrics
+    )
+    assert object_result.trace_summary == columnar_result.trace_summary
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        dict(bandwidth_limit=3),
+        dict(filter_strategy="selected", filter_k=2),
+        dict(filter_strategy="random", filter_k=3, bandwidth_limit=2),
+        dict(trace_seed=7, workload_seed=3, encounter_order_seed=101),
+        dict(policy_parameters={"initial_copies": 4}),
+    ],
+    ids=["bandwidth", "selected", "random+bw", "reseeded", "spray4"],
+)
+def test_engines_agree_across_knobs(overrides):
+    """Relay filters, bandwidth caps, and reseeding all stay equivalent."""
+    policy = "spray" if "policy_parameters" in overrides else "epidemic"
+    config = _config(policy, faults=SUPPORTED_FAULTS, **overrides)
+    object_result, columnar_result = _both_engines(config)
+    assert comparable_metrics(object_result.metrics) == comparable_metrics(
+        columnar_result.metrics
+    )
+
+
+def test_final_node_state_matches_object_engine():
+    """Beyond metrics: per-node knowledge and holdings are identical."""
+    config = _config(
+        "epidemic", bandwidth_limit=3, filter_strategy="selected", filter_k=2
+    )
+    scenario = build_scenario(config)
+    scenario.emulator.run()
+    world, _trace = build_world(replace(config, engine="columnar"))
+    world.run()
+    for name, node in scenario.emulator.nodes.items():
+        object_knowledge = frozenset(
+            f"{version.replica.name}:{version.counter}"
+            for version in node.replica.knowledge.versions()
+        )
+        assert world.knowledge_of(name) == object_knowledge, name
+        object_holdings = sorted(
+            str(item.item_id) for item in node.replica.stored_items()
+        )
+        assert sorted(world.holdings_of(name)) == object_holdings, name
+
+
+@pytest.mark.parametrize(
+    ("config", "fragment"),
+    [
+        (ExperimentConfig(addressing="user"), "bus addressing"),
+        (ExperimentConfig(storage_limit=10), "storage"),
+        (ExperimentConfig(delete_on_receipt=True), "delete_on_receipt"),
+        (ExperimentConfig(knowledge_digest=True), "digest"),
+        (ExperimentConfig(policy="prophet"), "Prophet"),
+        (ExperimentConfig(policy="maxprop"), "MaxProp"),
+        (
+            ExperimentConfig(faults=FaultConfig(crash_probability=0.1)),
+            "crash",
+        ),
+        (
+            ExperimentConfig(
+                faults=FaultConfig(
+                    truncation_probability=0.1, truncation_unit="bytes"
+                )
+            ),
+            "item-unit truncation",
+        ),
+    ],
+    ids=[
+        "user-addressing",
+        "storage-limit",
+        "delete-on-receipt",
+        "digest",
+        "prophet",
+        "maxprop",
+        "crash-faults",
+        "byte-truncation",
+    ],
+)
+def test_unsupported_configs_are_rejected(config, fragment):
+    reason = columnar_unsupported_reason(config)
+    assert reason is not None
+    assert fragment.lower() in reason.lower()
+    with pytest.raises(ColumnarUnsupportedError):
+        run_experiment(replace(config, engine="columnar"))
+
+
+def test_supported_config_reports_no_reason():
+    config = _config("epidemic", faults=SUPPORTED_FAULTS, bandwidth_limit=5)
+    assert columnar_unsupported_reason(config) is None
+
+
+def test_disabled_faults_are_supported():
+    """An all-zero FaultConfig is equivalent to None, so it must pass."""
+    assert columnar_unsupported_reason(ExperimentConfig(faults=FaultConfig())) is None

@@ -1,0 +1,112 @@
+"""Sharded columnar runs: partition planning and exact equivalence.
+
+The sharded runner may only change *where* encounters execute, never
+*what* they compute: a run partitioned across worker processes must be
+byte-identical (metrics ``to_dict``) to the same run executed unsharded,
+because the shard planner cuts along encounter-graph components and the
+encounter-order coin flips are precomputed in global trace order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emulation.columnar import (
+    ColumnarTrace,
+    ColumnarUnsupportedError,
+    merge_metrics,
+    plan_shards,
+    run_columnar,
+    run_columnar_sharded,
+    trace_components,
+)
+from repro.emulation.metrics import MetricsCollector
+from repro.experiments.config import ExperimentConfig
+from repro.faults import FaultConfig
+from repro.traces.dieselnet import MetroConfig, generate_metro_trace
+
+
+def _metro_trace(n_routes=4, interchange=0.0, n_buses=48, days=3):
+    return generate_metro_trace(
+        MetroConfig(
+            seed=9,
+            n_buses=n_buses,
+            n_routes=n_routes,
+            days=days,
+            interchange_rate=interchange,
+        )
+    )
+
+
+def _config(**overrides) -> ExperimentConfig:
+    base = dict(policy="epidemic", n_users=40, target_messages=60)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def test_trace_components_follow_routes():
+    """With no interchanges, each route is its own component."""
+    trace = ColumnarTrace.from_trace(_metro_trace(n_routes=4, interchange=0.0))
+    components = trace_components(trace)
+    assert len(components) == 4
+    assert sorted(h for comp in components for h in comp) == list(
+        range(len(trace.hosts))
+    )
+
+
+def test_interchanges_connect_routes():
+    trace = ColumnarTrace.from_trace(_metro_trace(n_routes=4, interchange=6.0))
+    assert len(trace_components(trace)) == 1
+
+
+def test_plan_shards_partitions_all_hosts():
+    trace = ColumnarTrace.from_trace(_metro_trace(n_routes=6))
+    plan = plan_shards(trace, 3)
+    assert len(plan) == 3
+    seen = [h for host_ids, _weight in plan for h in host_ids]
+    assert sorted(seen) == list(range(len(trace.hosts)))
+    # Every shard got real work and the weights account for every
+    # encounter exactly once.
+    assert all(weight > 0 for _host_ids, weight in plan)
+    assert sum(weight for _host_ids, weight in plan) == len(trace)
+
+
+def test_plan_shards_caps_at_component_count():
+    trace = ColumnarTrace.from_trace(_metro_trace(n_routes=2))
+    assert len(plan_shards(trace, 8)) == 2
+    with pytest.raises(ValueError):
+        plan_shards(trace, 0)
+
+
+def test_merge_metrics_rejects_overlap():
+    part = MetricsCollector()
+    part.record_injection("m1", "alice", "bob", 0.0, "bus00")
+    with pytest.raises(ValueError):
+        merge_metrics([part, part])
+
+
+def test_sharded_matches_unsharded():
+    """The headline guarantee: shards change nothing but the process."""
+    trace = _metro_trace(n_routes=4, interchange=0.0)
+    config = _config()
+    unsharded, summary = run_columnar(config, trace=trace)
+    sharded, sharded_summary = run_columnar_sharded(
+        config, trace=trace, shards=2
+    )
+    assert sharded.to_dict() == unsharded.to_dict()
+    assert sharded_summary == summary
+
+
+def test_single_component_falls_back_in_process():
+    """A fully connected trace runs unsharded (and still agrees)."""
+    trace = _metro_trace(n_routes=2, interchange=6.0)
+    config = _config()
+    unsharded, _ = run_columnar(config, trace=trace)
+    sharded, _ = run_columnar_sharded(config, trace=trace, shards=4)
+    assert sharded.to_dict() == unsharded.to_dict()
+
+
+def test_sharded_rejects_enabled_faults():
+    config = _config(faults=FaultConfig(encounter_drop_probability=0.1))
+    with pytest.raises(ColumnarUnsupportedError):
+        run_columnar_sharded(config, trace=_metro_trace(), shards=2)

@@ -1,0 +1,66 @@
+"""Opt-in memory accounting on MetricsCollector.
+
+``record_memory()`` stamps the process peak RSS (and the tracemalloc
+peak, when tracing) onto the collector so benchmarks can report memory
+next to wall clock. The stamps are deliberately *not* dataclass fields:
+``to_dict()`` must stay byte-identical to pre-memory-accounting
+artifacts, and two identical sequential runs must keep producing
+identical serialized results even though the second one's RSS high-water
+mark includes the first.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from repro.emulation.metrics import MetricsCollector
+
+
+def test_defaults_to_zero():
+    metrics = MetricsCollector()
+    assert metrics.peak_rss_bytes == 0.0
+    assert metrics.tracemalloc_peak_bytes == 0.0
+    summary = metrics.summary()
+    assert summary["peak_rss_bytes"] == 0.0
+    assert summary["tracemalloc_peak_bytes"] == 0.0
+
+
+def test_record_memory_stamps_rss():
+    metrics = MetricsCollector()
+    metrics.record_memory()
+    # Any live Python process has a multi-MB footprint.
+    assert metrics.peak_rss_bytes > 1024 * 1024
+    assert metrics.summary()["peak_rss_bytes"] == metrics.peak_rss_bytes
+
+
+def test_record_memory_reads_tracemalloc_only_while_tracing():
+    metrics = MetricsCollector()
+    metrics.record_memory()
+    assert metrics.tracemalloc_peak_bytes == 0.0
+    tracemalloc.start()
+    try:
+        ballast = [bytes(1024) for _ in range(64)]
+        metrics.record_memory()
+        assert len(ballast) == 64
+    finally:
+        tracemalloc.stop()
+    assert metrics.tracemalloc_peak_bytes > 0.0
+
+
+def test_memory_stamps_stay_out_of_to_dict():
+    """The serialization contract: artifacts are memory-agnostic."""
+    stamped = MetricsCollector()
+    stamped.record_memory()
+    plain = MetricsCollector()
+    assert stamped.to_dict() == plain.to_dict()
+    assert "peak_rss_bytes" not in stamped.to_dict()
+    # Round-tripping neither fails nor resurrects the stamps.
+    restored = MetricsCollector.from_dict(stamped.to_dict())
+    assert restored.peak_rss_bytes == 0.0
+
+
+def test_stamps_are_per_instance():
+    """Stamping one collector must not leak onto the class."""
+    stamped = MetricsCollector()
+    stamped.record_memory()
+    assert MetricsCollector().peak_rss_bytes == 0.0

@@ -1,0 +1,105 @@
+"""The scale benchmark: report schema, gates, and artifact round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.bench_scale import (
+    PRESETS,
+    ScaleBenchConfig,
+    ScalePoint,
+    run_scale_bench,
+    write_scale_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    """One real (in-process) run of the tiny preset, shared by the tests."""
+    config = ScaleBenchConfig(
+        preset="tiny",
+        in_process=True,
+        comparison_buses=24,
+        comparison_days=4,
+        min_speedup=1.0,
+    )
+    return run_scale_bench(config)
+
+
+def test_rejects_bad_config():
+    with pytest.raises(ValueError):
+        ScaleBenchConfig(preset="nope")
+    with pytest.raises(ValueError):
+        ScaleBenchConfig(min_speedup=0.0)
+
+
+def test_presets_cover_the_acceptance_targets():
+    assert max(p.n_buses for p in PRESETS["full"]) >= 50_000
+    assert all(p.n_buses <= 2_000 for p in PRESETS["smoke"])
+    # Sharded rungs must use partitionable traces.
+    for preset in PRESETS.values():
+        for point in preset:
+            if point.shards > 1:
+                assert point.interchange_rate == 0.0
+
+
+def test_max_nodes_trims_the_ladder():
+    config = ScaleBenchConfig(preset="full", max_nodes=5000)
+    assert [p.n_buses for p in config.points()] == [1000, 5000]
+    assert len(ScaleBenchConfig(preset="full").points()) == len(PRESETS["full"])
+
+
+def test_tiny_report_schema(tiny_report):
+    assert tiny_report["benchmark"] == "scale"
+    assert tiny_report["preset"] == "tiny"
+    comparison = tiny_report["comparison"]
+    assert comparison["encounters"] > 0
+    assert comparison["object"]["wall_clock_s"] >= 0
+    assert comparison["columnar"]["us_per_encounter"] > 0
+    assert comparison["equivalence_checked"] is True
+    assert comparison["equivalent"] is True
+    assert comparison["mismatched_keys"] == []
+    assert isinstance(tiny_report["speedup_ok"], bool)
+    assert tiny_report["max_nodes"] == 60
+    assert tiny_report["max_encounters"] > 0
+
+
+def test_tiny_curve_rows(tiny_report):
+    (row,) = tiny_report["curve"]
+    assert row["n_buses"] == 60
+    assert row["encounters"] > 0
+    assert row["delivered"] <= row["injected"]
+    assert row["run_wall_clock_s"] >= 0
+    assert row["us_per_encounter"] > 0
+    # Memory accounting (the record_memory satellite) reaches the rows.
+    assert row["peak_rss_mb"] > 0
+    assert row["run_includes_build"] is False
+
+
+def test_artifact_round_trips(tiny_report, tmp_path):
+    path = write_scale_bench(tiny_report, tmp_path / "results" / "BENCH_scale.json")
+    assert path.exists()
+    assert json.loads(path.read_text()) == tiny_report
+
+
+def test_equivalence_can_be_disabled():
+    config = ScaleBenchConfig(
+        preset="tiny",
+        in_process=True,
+        equivalence=False,
+        comparison_buses=24,
+        comparison_days=2,
+        min_speedup=0.01,
+    )
+    report = run_scale_bench(config)
+    comparison = report["comparison"]
+    assert comparison["equivalence_checked"] is False
+    assert comparison["equivalent"] is None
+
+
+def test_scale_point_defaults_are_columnar_sized():
+    point = ScalePoint(100, 4, 2)
+    assert point.shards == 1
+    assert point.messages > 0 and point.users > 0

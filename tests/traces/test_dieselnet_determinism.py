@@ -1,0 +1,165 @@
+"""Byte-level determinism of the trace generators, and metro-mode scaling.
+
+A trace is an experiment input: two runs "from the same seed" must mean
+*the same bytes*, not merely statistically similar encounters, or run
+artifacts stop being content-addressable. These tests pin that contract
+for both the classic DieselNet generator and the city-scale metro mode,
+and check that the metro route schedule actually scales the way the
+scale benchmark assumes (membership balance, per-route locality,
+interchange wiring).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emulation.encounters import SECONDS_PER_DAY
+from repro.traces.dieselnet import (
+    DieselNetConfig,
+    MetroConfig,
+    format_trace_text,
+    generate_dieselnet_trace,
+    generate_metro_trace,
+    metro_bus_name,
+    metro_route_members,
+)
+
+
+class TestClassicDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        config = DieselNetConfig(scale=0.4, seed=11)
+        first = "\n".join(format_trace_text(generate_dieselnet_trace(config)))
+        second = "\n".join(format_trace_text(generate_dieselnet_trace(config)))
+        assert first.encode("utf-8") == second.encode("utf-8")
+
+    def test_seed_changes_bytes(self):
+        first = "\n".join(
+            format_trace_text(
+                generate_dieselnet_trace(DieselNetConfig(scale=0.4, seed=11))
+            )
+        )
+        second = "\n".join(
+            format_trace_text(
+                generate_dieselnet_trace(DieselNetConfig(scale=0.4, seed=12))
+            )
+        )
+        assert first != second
+
+
+class TestMetroConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetroConfig(n_routes=0)
+        with pytest.raises(ValueError):
+            MetroConfig(n_buses=10, n_routes=8)  # < 2 buses per route
+        with pytest.raises(ValueError):
+            MetroConfig(days=0)
+        with pytest.raises(ValueError):
+            MetroConfig(window_start_hour=20.0, window_end_hour=6.0)
+        with pytest.raises(ValueError):
+            MetroConfig(duty_cycle=0.0)
+        with pytest.raises(ValueError):
+            MetroConfig(meetings_per_bus_per_day=-1.0)
+
+    def test_bus_names_sort_numerically(self):
+        names = [metro_bus_name(i) for i in (0, 9, 10, 99, 100, 54321)]
+        assert names == sorted(names)
+
+    def test_route_members_balance(self):
+        config = MetroConfig(n_buses=103, n_routes=10)
+        members = metro_route_members(config)
+        sizes = [len(route) for route in members]
+        assert sum(sizes) == 103
+        assert max(sizes) - min(sizes) <= 1
+        flat = [bus for route in members for bus in route]
+        assert len(set(flat)) == len(flat)
+
+
+class TestMetroGenerator:
+    def test_same_seed_is_byte_identical(self):
+        config = MetroConfig(seed=3, n_buses=80, n_routes=5, days=3)
+        first = "\n".join(format_trace_text(generate_metro_trace(config)))
+        second = "\n".join(format_trace_text(generate_metro_trace(config)))
+        assert first.encode("utf-8") == second.encode("utf-8")
+
+    def test_seed_changes_bytes(self):
+        first = "\n".join(
+            format_trace_text(
+                generate_metro_trace(
+                    MetroConfig(seed=3, n_buses=80, n_routes=5, days=3)
+                )
+            )
+        )
+        second = "\n".join(
+            format_trace_text(
+                generate_metro_trace(
+                    MetroConfig(seed=4, n_buses=80, n_routes=5, days=3)
+                )
+            )
+        )
+        assert first != second
+
+    def test_encounters_stay_inside_service_window(self):
+        config = MetroConfig(
+            seed=5, n_buses=60, n_routes=4, days=2,
+            window_start_hour=7.0, window_end_hour=21.0,
+        )
+        trace = generate_metro_trace(config)
+        assert len(trace) > 0
+        for encounter in trace:
+            seconds_into_day = encounter.time - encounter.day * SECONDS_PER_DAY
+            assert 7.0 * 3600 <= seconds_into_day <= 21.0 * 3600
+
+    def test_no_interchange_keeps_routes_disjoint(self):
+        config = MetroConfig(
+            seed=5, n_buses=60, n_routes=4, days=2, interchange_rate=0.0
+        )
+        members = metro_route_members(config)
+        route_of = {
+            bus: index
+            for index, route in enumerate(members)
+            for bus in route
+        }
+        for encounter in generate_metro_trace(config):
+            assert route_of[encounter.a] == route_of[encounter.b]
+
+    def test_interchanges_link_adjacent_routes_only(self):
+        config = MetroConfig(
+            seed=5, n_buses=60, n_routes=5, days=2,
+            meetings_per_bus_per_day=0.0, interchange_rate=3.0,
+        )
+        members = metro_route_members(config)
+        route_of = {
+            bus: index
+            for index, route in enumerate(members)
+            for bus in route
+        }
+        trace = generate_metro_trace(config)
+        assert len(trace) > 0
+        for encounter in trace:
+            gap = abs(route_of[encounter.a] - route_of[encounter.b])
+            assert gap in (1, config.n_routes - 1)
+
+    def test_encounter_volume_scales_with_routes_not_pairs(self):
+        """Adding routes at fixed route size adds ~linear work.
+
+        This is the property the scale benchmark leans on: the classic
+        generator's per-pair walk would grow quadratically in the bus
+        count, the metro generator must not.
+        """
+        small = MetroConfig(seed=6, n_buses=60, n_routes=4, days=2)
+        large = MetroConfig(seed=6, n_buses=240, n_routes=16, days=2)
+        n_small = len(generate_metro_trace(small))
+        n_large = len(generate_metro_trace(large))
+        ratio = n_large / n_small
+        assert 2.5 <= ratio <= 6.5  # ~4x buses -> ~4x encounters
+
+    def test_duty_cycle_limits_active_buses(self):
+        config = MetroConfig(
+            seed=7, n_buses=40, n_routes=2, days=1, duty_cycle=0.5
+        )
+        trace = generate_metro_trace(config)
+        active = {e.a for e in trace} | {e.b for e in trace}
+        # Half of each 20-bus route sits out each day (plus interchange
+        # partners are drawn from the active sample only).
+        assert len(active) <= 20 + 4  # duty sample is clamped to >= 2
