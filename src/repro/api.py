@@ -37,6 +37,18 @@ Groups:
 * **Knowledge digests** — :class:`DigestConfig` (arms the compact
   Bloom-digest mode of the sync protocol) and :class:`KnowledgeDigest`
   (the digest itself; see ``docs/protocol.md`` §8).
+* **Sync sessions** — the transport-agnostic sync flow:
+  :class:`SyncSession` and :class:`EncounterSession` run the paper's
+  Figure 4 exchange (one direction, or a full two-sync encounter) over
+  any :class:`Transport`, configured by :class:`SessionConfig`. The
+  emulator, the benches, and the live network all drive these same
+  objects; the old ``perform_sync``/``perform_encounter`` free functions
+  remain as deprecated shims.
+* **Live swarm** — :func:`run_swarm` / :class:`SwarmConfig` replay a
+  trace against real replica processes over unix or TCP sockets
+  (``repro serve`` / ``repro swarm``), and
+  :func:`check_convergence_parity` asserts a live swarm reaches the
+  emulator's exact per-node fixed point (see ``docs/deployment.md``).
 * **Columnar engine** — select with ``ExperimentConfig(engine="columnar")``;
   :exc:`ColumnarUnsupportedError` and :func:`columnar_unsupported_reason`
   report configs outside the verified subset, :func:`run_columnar_sharded`
@@ -79,16 +91,30 @@ from repro.experiments.sweep import (
     expand_grid,
     run_sweep,
 )
+from repro.experiments.parity import (
+    ParityReport,
+    check_convergence_parity,
+    compare_fixed_points,
+    replica_fixed_point,
+)
 from repro.faults.config import FaultConfig
+from repro.net.swarm import SwarmConfig, SwarmReport, run_swarm
 from repro.replication.digest import DigestConfig, KnowledgeDigest
 from repro.replication.integrity import ChecksumCache, ProtocolViolation
 from repro.replication.peer_health import PeerHealthTracker
+from repro.replication.session import (
+    EncounterSession,
+    SessionConfig,
+    SyncSession,
+    Transport,
+)
 from repro.traces.dieselnet import MetroConfig, generate_metro_trace
 
 __all__ = [
     "ChecksumCache",
     "ColumnarUnsupportedError",
     "DigestConfig",
+    "EncounterSession",
     "ExperimentConfig",
     "ExperimentResult",
     "FaultConfig",
@@ -97,16 +123,24 @@ __all__ = [
     "MetricsCollector",
     "MetroConfig",
     "PAPER_POLICY_ORDER",
+    "ParityReport",
     "PeerHealthTracker",
     "ProtocolViolation",
     "RunOutcome",
     "RunStore",
+    "SessionConfig",
     "StoreError",
+    "SwarmConfig",
+    "SwarmReport",
     "SweepEvent",
     "SweepReport",
+    "SyncSession",
+    "Transport",
     "available_policies",
+    "check_convergence_parity",
     "columnar_unsupported_reason",
     "comparable_metrics",
+    "compare_fixed_points",
     "config_digest",
     "configured_scale",
     "default_parameters",
@@ -114,9 +148,11 @@ __all__ = [
     "generate_metro_trace",
     "get_policy",
     "register_policy",
+    "replica_fixed_point",
     "run_columnar_sharded",
     "run_experiment",
     "run_id_for",
+    "run_swarm",
     "run_sweep",
     "sweep_id_for",
 ]

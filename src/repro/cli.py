@@ -12,6 +12,14 @@ Usage (installed as ``python -m repro``):
                         [--fault-corruption P] [--fault-replay P]
                         [--fault-fabrication P] [--fault-malformed P]
                         [--fault-seed N] [--json PATH]
+    python -m repro serve --node NAME --listen ADDR --config PATH
+                          [--state-dir DIR] [--read-timeout S]
+    python -m repro swarm [--policy P] [--scale S] [--addressing MODE]
+                          [--bandwidth-limit N] [--storage-limit N]
+                          [--filter-strategy STRAT --filter-k K]
+                          [--digest] [--digest-fp-rate P]
+                          [--transport unix|tcp] [--base-port N]
+                          [--output PATH] [--parity]
     python -m repro sweep [--policies P ...] [--seeds N ...]
                           [--bandwidth-limits N|none ...]
                           [--storage-limits N|none ...]
@@ -69,6 +77,7 @@ from repro.experiments.report import (
     render_summary_rows,
     render_table_1,
     render_table_2,
+    run_summary_document,
 )
 from repro.experiments.runner import run_experiment
 from repro.faults import FaultConfig
@@ -167,6 +176,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=pathlib.Path, default=None, metavar="PATH",
         help="also write the run summary (and fault counters, when armed) "
              "as a JSON document",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run one replica as a live networked daemon "
+             "(see docs/deployment.md)",
+    )
+    serve.add_argument(
+        "--node", required=True, metavar="NAME",
+        help="which trace host this process embodies",
+    )
+    serve.add_argument(
+        "--listen", required=True, metavar="ADDR",
+        help="listen address: unix:/path/to.sock or tcp:host:port",
+    )
+    serve.add_argument(
+        "--config", required=True, type=pathlib.Path, metavar="PATH",
+        help="experiment config JSON (the ExperimentConfig.to_dict() shape)",
+    )
+    serve.add_argument(
+        "--state-dir", type=pathlib.Path, default=None, metavar="DIR",
+        help="directory for checkpoint save/restore (enables persistence)",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-read socket timeout (default 30)",
+    )
+
+    swarm = subparsers.add_parser(
+        "swarm",
+        help="spawn a live N-process swarm and replay the trace schedule",
+    )
+    swarm.add_argument(
+        "--policy", default="epidemic", choices=sorted(available_policies())
+    )
+    swarm.add_argument("--scale", type=float, default=None)
+    swarm.add_argument("--bandwidth-limit", type=int, default=None)
+    swarm.add_argument("--storage-limit", type=int, default=None)
+    swarm.add_argument(
+        "--filter-strategy", choices=("self", "random", "selected"),
+        default="self",
+    )
+    swarm.add_argument("--filter-k", type=int, default=0)
+    swarm.add_argument(
+        "--addressing", choices=("bus", "user"), default="bus",
+    )
+    swarm.add_argument(
+        "--digest", action="store_true",
+        help="arm the knowledge-digest mode on the live wire",
+    )
+    swarm.add_argument(
+        "--digest-fp-rate", type=float, default=0.05, metavar="P",
+    )
+    swarm.add_argument(
+        "--transport", choices=("unix", "tcp"), default="unix",
+        help="peer channel flavour (default unix sockets)",
+    )
+    swarm.add_argument(
+        "--base-port", type=int, default=42640,
+        help="first TCP port when --transport tcp (node i gets base+i)",
+    )
+    swarm.add_argument(
+        "--output", type=pathlib.Path, default=None, metavar="PATH",
+        help="metrics artifact path (default swarm-<run-id>.json)",
+    )
+    swarm.add_argument(
+        "--parity", action="store_true",
+        help="also run the discrete-event emulator on the same config and "
+             "fail unless both reach the same per-node fixed point",
     )
 
     sweep = subparsers.add_parser(
@@ -473,18 +551,101 @@ def cmd_run(args: argparse.Namespace) -> int:
         for key in DIGEST_COUNTER_KEYS:
             print(f"{key:>24} | {summary[key]:>11.0f}")
     if args.json is not None:
-        document = {
-            "label": config.label(),
-            "scale": config.scale,
-            "fault_seed": config.fault_seed if faults is not None else None,
-            "summary": summary,
-        }
+        document = run_summary_document(
+            kind="run",
+            label=config.label(),
+            scale=config.scale,
+            fault_seed=config.fault_seed if faults is not None else None,
+            summary=summary,
+        )
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(
             json.dumps(document, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
         print(f"wrote summary to {args.json}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net.server import ServeConfig, run_server
+
+    try:
+        raw = json.loads(args.config.read_text(encoding="utf-8"))
+        config = ServeConfig(
+            node=args.node,
+            listen=args.listen,
+            experiment=ExperimentConfig.from_dict(raw),
+            state_dir=str(args.state_dir) if args.state_dir else None,
+            read_timeout=args.read_timeout,
+        )
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"serving node {config.node} on {config.listen} "
+        f"({config.experiment.label()})",
+        file=sys.stderr,
+    )
+    asyncio.run(run_server(config))
+    return 0
+
+
+def cmd_swarm(args: argparse.Namespace) -> int:
+    from repro.experiments.parity import (
+        compare_fixed_points,
+        emulator_fixed_points,
+    )
+    from repro.experiments.store import run_id_for
+    from repro.net.swarm import SwarmConfig, run_swarm
+
+    try:
+        config = ExperimentConfig(
+            scale=_scale(args.scale),
+            policy=args.policy,
+            addressing=args.addressing,
+            filter_strategy=args.filter_strategy,
+            filter_k=args.filter_k,
+            bandwidth_limit=args.bandwidth_limit,
+            storage_limit=args.storage_limit,
+            knowledge_digest=args.digest,
+            digest_fp_rate=args.digest_fp_rate,
+        )
+        swarm_config = SwarmConfig(
+            experiment=config,
+            transport=args.transport,
+            base_port=args.base_port,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    output = args.output or pathlib.Path(f"swarm-{run_id_for(config)}.json")
+    print(
+        f"swarm: {config.label()}  (scale {config.scale}, "
+        f"{args.transport} transport)"
+    )
+    report = run_swarm(swarm_config, output=str(output))
+    print(render_summary_rows({config.label(): report.metrics.summary()}))
+    print(f"wrote metrics artifact to {report.output_path}")
+    if args.parity:
+        parity = compare_fixed_points(
+            emulator_fixed_points(config), report.fixed_points
+        )
+        if parity.equal:
+            print(
+                f"parity: OK — live swarm matches the emulator on all "
+                f"{len(report.fixed_points)} nodes"
+            )
+        else:
+            print(
+                f"parity: MISMATCH on {sorted(parity.mismatched_nodes)}",
+                file=sys.stderr,
+            )
+            for name, detail in sorted(parity.detail.items()):
+                print(f"  {name}: {detail}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -982,6 +1143,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "trace": cmd_trace,
         "run": cmd_run,
+        "serve": cmd_serve,
+        "swarm": cmd_swarm,
         "sweep": cmd_sweep,
         "figure": cmd_figure,
         "tables": cmd_tables,

@@ -33,7 +33,7 @@ from repro.replication.errors import SyncProtocolError
 from repro.replication.events import BaseReplicaObserver
 from repro.replication.items import Item
 from repro.replication.peer_health import PeerHealthTracker
-from repro.replication.sync import perform_encounter
+from repro.replication.session import EncounterSession, SessionConfig
 
 from .encounters import SECONDS_PER_DAY, Encounter, EncounterTrace
 from .engine import EventPriority, SimulationEngine
@@ -267,14 +267,16 @@ class Emulator:
             name: self.nodes[name].replica.knowledge.copy()
             for name in (encounter.a, encounter.b)
         }
-        stats = perform_encounter(
-            first.endpoint,
-            second.endpoint,
+        stats = EncounterSession(
+            first=first.endpoint,
+            second=second.endpoint,
             now=now,
-            max_items_per_encounter=self._encounter_budget(encounter),
+            config=SessionConfig(
+                max_items=self._encounter_budget(encounter),
+                digest=self.digest,
+            ),
             transport_factory=transport_factory,
-            digest=self.digest,
-        )
+        ).run()
         for name, old in before.items():
             if not self.nodes[name].replica.knowledge.dominates(old):
                 raise SyncProtocolError(

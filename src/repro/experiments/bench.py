@@ -30,7 +30,8 @@ from repro.dtn.epidemic import EpidemicPolicy
 from repro.replication.filters import MultiAddressFilter
 from repro.replication.ids import ReplicaId
 from repro.replication.replica import Replica
-from repro.replication.sync import SyncEndpoint, perform_encounter
+from repro.replication.session import EncounterSession, SessionConfig
+from repro.replication.sync import SyncEndpoint
 
 
 @dataclass(frozen=True)
@@ -173,13 +174,15 @@ def _run(
                         f"{indexed!r} != {scanned!r}"
                     )
                 equivalence_checks += 1
-        stats_pair = perform_encounter(
-            first,
-            second,
+        stats_pair = EncounterSession(
+            first=first,
+            second=second,
             now=float(index),
-            max_items_per_encounter=config.max_items_per_encounter,
-            use_index=use_index,
-        )
+            config=SessionConfig(
+                max_items=config.max_items_per_encounter,
+                use_index=use_index,
+            ),
+        ).run()
         for stats in stats_pair:
             # The full scan visits every stored item; the index visits only
             # the unknown candidates it enumerated.

@@ -41,7 +41,8 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from repro.replication import integrity
-from repro.replication.sync import BatchEntry, perform_encounter
+from repro.replication.session import EncounterSession, SessionConfig
+from repro.replication.sync import BatchEntry
 
 from .bench import (
     SyncBenchConfig,
@@ -189,14 +190,16 @@ def _run(
                     "source": f"bench-{author:03d}",
                 },
             )
-        stats_pair = perform_encounter(
-            endpoints[a],
-            endpoints[b],
+        stats_pair = EncounterSession(
+            first=endpoints[a],
+            second=endpoints[b],
             now=float(index),
-            max_items_per_encounter=config.max_items_per_encounter,
+            config=SessionConfig(
+                max_items=config.max_items_per_encounter,
+                use_cache=use_cache,
+            ),
             transport_factory=factory,
-            use_cache=use_cache,
-        )
+        ).run()
         for stats in stats_pair:
             result.transmissions += stats.sent_total
             result.received_total += stats.received_total

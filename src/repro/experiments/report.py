@@ -9,9 +9,51 @@ single emulation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .tables import TABLE_I, TABLE_II, measured_policy_table
+
+#: Version of the JSON summary documents emitted by ``repro run --json``,
+#: ``repro serve`` (status replies), and ``repro swarm``. Bump when a
+#: consumer-visible key changes meaning or disappears; adding keys is
+#: backward-compatible and needs no bump.
+SUMMARY_SCHEMA_VERSION = 1
+
+
+def run_summary_document(
+    *,
+    kind: str,
+    label: str,
+    scale: float,
+    summary: Mapping[str, Any],
+    fault_seed: Optional[int] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The one shared, versioned summary document every entry point emits.
+
+    ``kind`` says which entry point produced it (``"run"``, ``"serve"``,
+    ``"swarm"``); the core keys (``schema``, ``kind``, ``label``,
+    ``scale``, ``fault_seed``, ``summary``) are stable and identical
+    across all of them, so a consumer parsing ``document["summary"]``
+    works on any of the three. ``extra`` merges additional top-level
+    keys but cannot shadow the core ones.
+    """
+    document: Dict[str, Any] = {
+        "schema": SUMMARY_SCHEMA_VERSION,
+        "kind": kind,
+        "label": label,
+        "scale": scale,
+        "fault_seed": fault_seed,
+        "summary": dict(summary),
+    }
+    if extra:
+        for key, value in extra.items():
+            if key in document:
+                raise ValueError(
+                    f"extra key {key!r} would shadow a core summary key"
+                )
+            document[key] = value
+    return document
 
 
 def render_series_table(

@@ -1,0 +1,152 @@
+"""Length-prefixed wire framing for the live transport.
+
+A frame is ``MAGIC + 4-byte big-endian payload length + payload``, where
+the payload is one UTF-8 canonical-JSON object (the same compact encoding
+:mod:`repro.replication.codec` uses for everything else on the wire). The
+magic both versions the framing and anchors resynchronisation: a receiver
+that finds itself mid-garbage — a partially overwritten buffer, a peer
+speaking an older framing, bytes mangled in flight — scans forward to the
+next magic and resumes, counting what it skipped instead of dying.
+
+Streams are adversarial by assumption (the PR-4 threat model): a bogus
+length field must not make the receiver wait forever or allocate
+unboundedly, so lengths above :data:`MAX_FRAME_BYTES` are treated as
+corruption, not as instructions. Payloads that decode to non-JSON or to a
+non-object are dropped and counted (``corrupt_frames``) — the sync layer
+above already treats missing frames as a truncated session and re-offers
+at the next contact, the same monotone-progress contract the faults layer
+established.
+
+See ``docs/protocol.md`` §9.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List
+
+MAGIC = b"RPR1"
+HEADER_SIZE = len(MAGIC) + 4
+#: Hard ceiling on one frame's payload. A batch frame at city scale is a
+#: few MB; anything claiming more is a corrupt or hostile length field.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class FramingError(ValueError):
+    """A message that cannot be framed (not JSON-encodable, or oversized)."""
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Encode one message dict as a wire frame.
+
+    Canonical compact JSON (sorted keys, no whitespace) so identical
+    messages are byte-identical — the property every checksum in the
+    codec layer already relies on.
+    """
+    if not isinstance(message, dict):
+        raise FramingError(
+            f"wire messages are JSON objects, got {type(message).__name__}"
+        )
+    try:
+        payload = json.dumps(
+            message, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise FramingError(f"message is not JSON-encodable: {error}") from error
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame payload of {len(payload)} bytes exceeds "
+            f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    return MAGIC + struct.pack(">I", len(payload)) + payload
+
+
+def _magic_prefix_overlap(buffer: bytes) -> int:
+    """Longest tail of ``buffer`` that is a proper prefix of MAGIC."""
+    for size in range(min(len(buffer), len(MAGIC) - 1), 0, -1):
+        if buffer[-size:] == MAGIC[:size]:
+            return size
+    return 0
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an arbitrary byte stream.
+
+    Feed it whatever the socket hands you — single bytes, half frames,
+    three frames and a torn header — and it returns each complete message
+    exactly once, in order. Garbage between frames is skipped by scanning
+    to the next magic (``resyncs`` / ``junk_bytes`` count it); a frame
+    whose payload fails JSON decoding is dropped (``corrupt_frames``).
+
+    ``pending`` exposes the buffered byte count so a reader can tell a
+    clean EOF from a connection cut mid-frame — the wire-level analogue
+    of the truncation fault's interrupted session.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.resyncs = 0
+        self.junk_bytes = 0
+        self.corrupt_frames = 0
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered toward an incomplete frame (0 at a clean point)."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Consume ``data``; return every message it completes."""
+        self._buffer.extend(data)
+        messages: List[Dict[str, Any]] = []
+        while True:
+            if not self._resync():
+                break
+            if len(self._buffer) < HEADER_SIZE:
+                break
+            (length,) = struct.unpack_from(">I", self._buffer, len(MAGIC))
+            if length > MAX_FRAME_BYTES:
+                # A hostile/corrupt length field. Skip one byte and rescan:
+                # a real frame boundary inside what looked like a header
+                # (the magic can legitimately appear in payload bytes that
+                # were torn from their own frame) is found, not lost.
+                del self._buffer[:1]
+                self.junk_bytes += 1
+                self.resyncs += 1
+                continue
+            if len(self._buffer) < HEADER_SIZE + length:
+                break
+            payload = bytes(self._buffer[HEADER_SIZE:HEADER_SIZE + length])
+            del self._buffer[:HEADER_SIZE + length]
+            try:
+                message = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self.corrupt_frames += 1
+                continue
+            if not isinstance(message, dict):
+                self.corrupt_frames += 1
+                continue
+            messages.append(message)
+        return messages
+
+    def _resync(self) -> bool:
+        """Align the buffer on the next magic; False if none is in sight.
+
+        Keeps the longest buffered tail that could still grow into a
+        magic, so a magic split across two reads is never thrown away.
+        """
+        index = self._buffer.find(MAGIC)
+        if index == 0:
+            return True
+        if index > 0:
+            self.junk_bytes += index
+            self.resyncs += 1
+            del self._buffer[:index]
+            return True
+        keep = _magic_prefix_overlap(bytes(self._buffer))
+        dropped = len(self._buffer) - keep
+        if dropped:
+            self.junk_bytes += dropped
+            self.resyncs += 1
+            del self._buffer[:dropped]
+        return False

@@ -1,0 +1,601 @@
+"""One replica as a networked daemon: the ``repro serve`` process.
+
+A :class:`NodeServer` owns exactly one emulated node — replica, routing
+policy, messaging app — built from the *same* scenario construction the
+emulator uses (:func:`~repro.experiments.scenario.build_scenario`), so a
+swarm of N servers starts from state identical to an N-node emulation.
+
+It listens on one address for two kinds of framed connections:
+
+* **control** — the swarm orchestrator's channel: timed directives
+  (``assign``, ``inject``, ``encounter``, ``snapshot``, ``status``,
+  ``shutdown``) that replay a trace schedule against the live node;
+* **peer** — another node dialing in to run an encounter. The sync flow
+  is the transport-agnostic
+  :class:`~repro.replication.session.SyncSession`, driven stepwise: the
+  request, batch frame, and stats travel as
+  :mod:`repro.replication.codec` encodings inside
+  :mod:`repro.net.framing` frames.
+
+Simulated time is carried *on the directives* (the live swarm replays a
+multi-day trace in wall-clock seconds); the node tracks the high-water
+mark and stamps it on policy hooks and delivery records, which is what
+keeps time-dependent routing state (PROPHET aging, MaxProp estimates)
+bit-equal to the emulator's.
+
+Protocol framing and the message sequence are specified in
+``docs/protocol.md`` §9; operational usage in ``docs/deployment.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import signal
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro._compat import keyword_only_dataclass
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parity import replica_fixed_point
+from repro.experiments.report import run_summary_document
+from repro.experiments.scenario import build_scenario
+from repro.messaging.app import MessagingApp
+from repro.replication.codec import (
+    decode_batch_frame,
+    decode_sync_request,
+    encode_batch_frame,
+    encode_item_id,
+    encode_sync_request,
+)
+from repro.replication.digest import DigestConfig
+from repro.replication.errors import SyncProtocolError
+from repro.replication.events import BaseReplicaObserver
+from repro.replication.ids import ReplicaId
+from repro.replication.items import Item
+from repro.replication.persistence import load_replica, save_replica
+from repro.replication.routing import SyncContext
+from repro.replication.session import SessionConfig, SyncSession
+from repro.replication.sync import SyncEndpoint, SyncStats
+
+from .connection import (
+    DEFAULT_READ_TIMEOUT,
+    ConnectionClosed,
+    PeerConnection,
+    open_connection,
+    parse_address,
+)
+
+PROTOCOL_VERSION = 1
+
+
+@keyword_only_dataclass
+@dataclass
+class ServeConfig:
+    """Configuration of one ``repro serve`` daemon."""
+
+    node: str
+    listen: str
+    experiment: ExperimentConfig
+    state_dir: Optional[str] = None
+    read_timeout: float = DEFAULT_READ_TIMEOUT
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ValueError("a serve daemon needs a node name")
+        parse_address(self.listen)  # validate early
+        faults = self.experiment.faults
+        if faults is not None and faults.enabled:
+            raise ValueError(
+                "live mode runs over real channels; fault injection is a "
+                "simulation-only feature (run the emulator for faults)"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "node": self.node,
+            "listen": self.listen,
+            "experiment": self.experiment.to_dict(),
+            "state_dir": self.state_dir,
+            "read_timeout": self.read_timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServeConfig":
+        return cls(
+            node=data["node"],
+            listen=data["listen"],
+            experiment=ExperimentConfig.from_dict(data["experiment"]),
+            state_dir=data.get("state_dir"),
+            read_timeout=data.get("read_timeout", DEFAULT_READ_TIMEOUT),
+        )
+
+
+class _EvictionCounter(BaseReplicaObserver):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def on_evict(self, item: Item) -> None:
+        self.count += 1
+
+
+class NodeServer:
+    """One live replica process, serving control and peer connections."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        scenario = build_scenario(config.experiment)
+        if config.node not in scenario.nodes:
+            raise ValueError(
+                f"node {config.node!r} is not in the trace "
+                f"(hosts: {sorted(scenario.nodes)})"
+            )
+        self.node = scenario.nodes[config.node]
+        self.name = config.node
+        experiment = config.experiment
+        self.session_config = SessionConfig(
+            digest=(
+                DigestConfig(fp_rate=experiment.digest_fp_rate)
+                if experiment.knowledge_digest
+                else None
+            ),
+        )
+        #: Simulated-time high-water mark, advanced by directive times.
+        self.sim_now = 0.0
+        self.encounters = 0
+        self._deliveries: List[Dict[str, Any]] = []
+        self._evictions = _EvictionCounter()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._restore_checkpoint()
+        self._wire_node()
+
+    # -- state plumbing -------------------------------------------------------
+
+    @property
+    def checkpoint_path(self) -> Optional[pathlib.Path]:
+        if self.config.state_dir is None:
+            return None
+        return pathlib.Path(self.config.state_dir) / f"{self.name}.json"
+
+    def _restore_checkpoint(self) -> None:
+        path = self.checkpoint_path
+        if path is None or not path.exists():
+            return
+        replica, policy_state = load_replica(path)
+        if replica.replica_id.name != self.name:
+            raise ValueError(
+                f"checkpoint {path} belongs to "
+                f"{replica.replica_id.name!r}, not {self.name!r}"
+            )
+        node = self.node
+        node.replica = replica
+        node.policy.bind(node.replica, node.addresses)
+        if policy_state is not None:
+            node.policy.restore_state(policy_state)
+        node.app = MessagingApp(
+            node.replica, node.addresses,
+            delete_on_receipt=node.delete_on_receipt,
+        )
+        node.endpoint = SyncEndpoint(node.replica, node.policy)
+
+    def _wire_node(self) -> None:
+        self.node.replica.register_observer(self._evictions)
+        self.node.app.on_delivery(self._on_delivery)
+
+    def _on_delivery(self, message) -> None:
+        self._deliveries.append(
+            {
+                "message_id": encode_item_id(message.message_id),
+                "time": self.sim_now,
+                "node": self.name,
+            }
+        )
+
+    def _drain_deliveries(self) -> List[Dict[str, Any]]:
+        drained, self._deliveries = self._deliveries, []
+        return drained
+
+    def _advance(self, time: Any) -> float:
+        if isinstance(time, (int, float)):
+            self.sim_now = max(self.sim_now, float(time))
+        return self.sim_now
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        scheme, operand = parse_address(self.config.listen)
+        if scheme == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=operand
+            )
+        else:
+            host, port = operand
+            self._server = await asyncio.start_server(
+                self._on_connection, host, port
+            )
+        self._stopped = asyncio.Event()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._stopped is not None
+        await self._stopped.wait()
+        self._server.close()
+        await self._server.wait_closed()
+
+    def request_shutdown(self, persist: bool = True) -> Optional[str]:
+        """Persist (optionally) and arrange for ``serve_forever`` to return."""
+        checkpoint = None
+        path = self.checkpoint_path
+        if persist and path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            save_replica(
+                self.node.replica,
+                path,
+                policy_state=self.node.policy.persistent_state(),
+            )
+            checkpoint = str(path)
+        if self._stopped is not None:
+            self._stopped.set()
+        return checkpoint
+
+    # -- connection handling --------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = PeerConnection(
+            reader, writer, read_timeout=self.config.read_timeout
+        )
+        try:
+            hello = await connection.receive()
+            if hello.get("type") != "hello":
+                await connection.send(
+                    {"type": "error", "error": "expected hello"}
+                )
+                return
+            await connection.send(
+                {
+                    "type": "hello",
+                    "node": self.name,
+                    "protocol": PROTOCOL_VERSION,
+                }
+            )
+            await self._serve_connection(connection)
+        except (ConnectionClosed, asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            await connection.close()
+
+    async def _serve_connection(self, connection: PeerConnection) -> None:
+        while True:
+            try:
+                message = await connection.receive()
+            except asyncio.TimeoutError:
+                continue  # idle control channel; keep listening
+            except ConnectionClosed:
+                return
+            kind = message.get("type")
+            try:
+                if kind == "encounter-open":
+                    await self._serve_encounter(connection, message)
+                elif kind == "shutdown":
+                    checkpoint = self.request_shutdown(
+                        persist=bool(message.get("persist", True))
+                    )
+                    await connection.send(
+                        {"type": "shutdown-ok", "checkpoint": checkpoint}
+                    )
+                    return
+                else:
+                    reply = self._handle_directive(kind, message)
+                    if reply is None:
+                        reply = await self._handle_async_directive(
+                            kind, message
+                        )
+                    await connection.send(reply)
+            except (ConnectionClosed, asyncio.TimeoutError):
+                raise
+            except Exception as error:  # report, don't die mid-swarm
+                await connection.send(
+                    {
+                        "type": "error",
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                )
+
+    # -- control directives ---------------------------------------------------
+
+    def _handle_directive(
+        self, kind: Optional[str], message: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        if kind == "status":
+            return {"type": "status-ok", "document": self.status_document()}
+        if kind == "assign":
+            self._advance(message.get("time"))
+            self.node.assign_addresses(message.get("addresses", ()))
+            return {
+                "type": "assign-ok",
+                "deliveries": self._drain_deliveries(),
+            }
+        if kind == "inject":
+            self._advance(message.get("time"))
+            sent = self.node.send(
+                message["source"],
+                message["destination"],
+                message.get("body"),
+                now=self.sim_now,
+            )
+            return {
+                "type": "inject-ok",
+                "message_id": encode_item_id(sent.message_id),
+                "deliveries": self._drain_deliveries(),
+            }
+        if kind == "snapshot":
+            return {
+                "type": "snapshot-ok",
+                "fixed_point": replica_fixed_point(self.node.replica),
+                "held": sorted(
+                    str(item.item_id)
+                    for item in self.node.replica.stored_items()
+                    if not item.deleted
+                ),
+                "evictions": self._evictions.count,
+            }
+        return None
+
+    async def _handle_async_directive(
+        self, kind: Optional[str], message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        if kind == "encounter":
+            stats, deliveries = await self._coordinate_encounter(
+                peer=message["peer"],
+                address=message["address"],
+                time=float(message.get("time", self.sim_now)),
+                budget=message.get("budget"),
+            )
+            return {
+                "type": "encounter-ok",
+                "syncs": [record.to_dict() for record in stats],
+                "deliveries": deliveries,
+            }
+        return {"type": "error", "error": f"unknown directive {kind!r}"}
+
+    def status_document(self) -> Dict[str, Any]:
+        experiment = self.config.experiment
+        return run_summary_document(
+            kind="serve",
+            label=experiment.label(),
+            scale=experiment.scale,
+            summary={
+                "node": self.name,
+                "sim_now": self.sim_now,
+                "stored_items": self.node.replica.stored_count,
+                "delivered_messages": len(self.node.app.delivered_messages()),
+                "encounters": self.encounters,
+                "evictions": self._evictions.count,
+                "protocol": PROTOCOL_VERSION,
+            },
+        )
+
+    # -- encounters -----------------------------------------------------------
+
+    def _knowledge_guard(self):
+        """Snapshot knowledge; returns a closure asserting monotonicity."""
+        before = self.node.replica.knowledge.copy()
+
+        def check() -> None:
+            if not self.node.replica.knowledge.dominates(before):
+                raise SyncProtocolError(
+                    f"version vector of {self.name!r} regressed during a "
+                    f"live encounter"
+                )
+
+        return check
+
+    async def _coordinate_encounter(
+        self,
+        peer: str,
+        address: str,
+        time: float,
+        budget: Optional[int],
+    ) -> Tuple[List[SyncStats], List[Dict[str, Any]]]:
+        """Run one encounter as the initiating side (first sync's source).
+
+        Mirrors :class:`~repro.replication.session.EncounterSession.run`
+        with the second endpoint living in another process: both sides
+        fire ``on_encounter_start`` once, sync 1 flows this → peer,
+        sync 2 peer → this, and the peer's second-sync budget is what
+        remains of the shared per-encounter cap.
+        """
+        self._advance(time)
+        check = self._knowledge_guard()
+        remote = ReplicaId(peer)
+        endpoint = self.node.endpoint
+        connection = await open_connection(
+            address, read_timeout=self.config.read_timeout
+        )
+        try:
+            await connection.send(
+                {
+                    "type": "hello",
+                    "node": self.name,
+                    "protocol": PROTOCOL_VERSION,
+                }
+            )
+            hello = await connection.receive()
+            if hello.get("type") != "hello" or hello.get("node") != peer:
+                raise SyncProtocolError(
+                    f"dialed {peer!r} at {address} but got {hello!r}"
+                )
+            self.node.policy.on_encounter_start(
+                SyncContext(
+                    local=endpoint.replica_id, remote=remote, now=time
+                )
+            )
+            await connection.send(
+                {
+                    "type": "encounter-open",
+                    "initiator": self.name,
+                    "time": time,
+                    "budget": budget,
+                }
+            )
+            # Sync 1: we are the source; the peer opens with its request.
+            opening = await self._expect(connection, "sync-request")
+            request = decode_sync_request(opening["request"])
+            source_session = SyncSession(
+                source=endpoint,
+                peer=remote,
+                now=time,
+                config=self.session_config,
+            )
+            batch, stats_a = source_session.build_response(
+                request, max_items=budget
+            )
+            stamped = source_session.stamp(batch)
+            await connection.send(
+                {
+                    "type": "sync-batch",
+                    "frame": encode_batch_frame(stamped),
+                    "stats": stats_a.to_dict(),
+                }
+            )
+            ack = await self._expect(connection, "sync-ack")
+            stats_a = SyncStats.from_dict(ack["stats"])
+            # The ack proves the whole checksummed frame was applied
+            # intact — the confirmed set is the full batch.
+            source_session.confirm_sent(stamped)
+            # Sync 2: roles swap; spend what is left of the budget.
+            remaining = (
+                max(0, budget - stats_a.sent_total)
+                if budget is not None
+                else None
+            )
+            target_session = SyncSession(
+                target=endpoint,
+                peer=remote,
+                now=time,
+                config=self.session_config,
+            )
+            await connection.send(
+                {
+                    "type": "sync-request",
+                    "request": encode_sync_request(
+                        target_session.build_request()
+                    ),
+                    "budget": remaining,
+                }
+            )
+            delivery = await self._expect(connection, "sync-batch")
+            stats_b = SyncStats.from_dict(delivery["stats"])
+            stats_b = target_session.apply(
+                decode_batch_frame(delivery["frame"]), stats=stats_b
+            )
+            await connection.send(
+                {"type": "sync-ack", "stats": stats_b.to_dict()}
+            )
+            done = await self._expect(connection, "encounter-done")
+        finally:
+            await connection.close()
+        check()
+        self.encounters += 1
+        deliveries = self._drain_deliveries() + list(
+            done.get("deliveries", ())
+        )
+        return [stats_a, stats_b], deliveries
+
+    async def _serve_encounter(
+        self, connection: PeerConnection, opening: Dict[str, Any]
+    ) -> None:
+        """Run one encounter as the dialed side (first sync's target)."""
+        time = float(opening.get("time", self.sim_now))
+        self._advance(time)
+        check = self._knowledge_guard()
+        initiator = ReplicaId(str(opening["initiator"]))
+        endpoint = self.node.endpoint
+        self.node.policy.on_encounter_start(
+            SyncContext(local=endpoint.replica_id, remote=initiator, now=time)
+        )
+        # Sync 1: we are the target.
+        target_session = SyncSession(
+            target=endpoint,
+            peer=initiator,
+            now=time,
+            config=self.session_config,
+        )
+        await connection.send(
+            {
+                "type": "sync-request",
+                "request": encode_sync_request(target_session.build_request()),
+            }
+        )
+        delivery = await self._expect(connection, "sync-batch")
+        stats_a = SyncStats.from_dict(delivery["stats"])
+        stats_a = target_session.apply(
+            decode_batch_frame(delivery["frame"]), stats=stats_a
+        )
+        await connection.send({"type": "sync-ack", "stats": stats_a.to_dict()})
+        # Sync 2: we are the source, under the initiator's remaining budget.
+        opening2 = await self._expect(connection, "sync-request")
+        request = decode_sync_request(opening2["request"])
+        source_session = SyncSession(
+            source=endpoint,
+            peer=initiator,
+            now=time,
+            config=self.session_config,
+        )
+        batch, stats_b = source_session.build_response(
+            request, max_items=opening2.get("budget")
+        )
+        stamped = source_session.stamp(batch)
+        await connection.send(
+            {
+                "type": "sync-batch",
+                "frame": encode_batch_frame(stamped),
+                "stats": stats_b.to_dict(),
+            }
+        )
+        await self._expect(connection, "sync-ack")
+        source_session.confirm_sent(stamped)
+        check()
+        self.encounters += 1
+        await connection.send(
+            {
+                "type": "encounter-done",
+                "deliveries": self._drain_deliveries(),
+            }
+        )
+
+    async def _expect(
+        self, connection: PeerConnection, expected: str
+    ) -> Dict[str, Any]:
+        message = await connection.receive()
+        kind = message.get("type")
+        if kind == "error":
+            raise SyncProtocolError(
+                f"peer reported: {message.get('error')!r}"
+            )
+        if kind != expected:
+            raise SyncProtocolError(
+                f"expected {expected!r} from peer, got {kind!r}"
+            )
+        return message
+
+
+async def run_server(config: ServeConfig) -> None:
+    """Build the node, bind the listener, and serve until shutdown.
+
+    SIGINT/SIGTERM trigger the same graceful path as a ``shutdown``
+    directive: checkpoint (when a state dir is configured), then stop.
+    """
+    server = NodeServer(config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, server.request_shutdown)
+        except (NotImplementedError, RuntimeError):
+            pass  # platforms without signal support in the loop
+    await server.serve_forever()

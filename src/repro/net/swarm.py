@@ -1,0 +1,476 @@
+"""Live swarm orchestration: one OS process per trace host.
+
+:func:`run_swarm` takes the exact :class:`ExperimentConfig` the emulator
+runs, spawns one ``repro serve`` subprocess per host in the scaled trace,
+and replays the scenario's directive schedule (:mod:`repro.net.schedule`)
+over control channels — day-boundary address reassignments, message
+injections, and encounters, in the emulator's event order. Encounters
+happen as real peer-to-peer sync sessions over unix or TCP sockets
+between the server processes; the orchestrator only tells the initiating
+side whom to dial.
+
+The orchestrator owns the experiment's single
+:class:`~repro.emulation.metrics.MetricsCollector`, fed from directive
+replies: sync stats travel back serialized, deliveries are announced by
+the node that made them, and end-of-run copy counts come from snapshot
+directives. Two deliberate differences from the emulator's collector are
+documented where they occur: ``copies_at_delivery`` is unknowable without
+a global view, and traffic counters include live-channel checksum work
+the emulator's perfect channel skips. The replication *state* — what the
+parity harness in :mod:`repro.experiments.parity` compares — is
+bit-identical.
+
+Replay is sequential (one directive completes before the next begins).
+That is what makes a live run deterministic and parity-comparable: the
+trace's encounters are instantaneous points in simulated time, so nothing
+is lost by not overlapping them in wall-clock time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+import repro
+from repro._compat import keyword_only_dataclass
+from repro.emulation.metrics import MetricsCollector
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import run_summary_document
+from repro.experiments.scenario import build_scenario
+from repro.experiments.store import canonical_json, run_id_for
+from repro.replication.codec import decode_item_id
+from repro.replication.sync import SyncStats
+
+from .connection import (
+    DEFAULT_READ_TIMEOUT,
+    PeerConnection,
+    ReconnectDialer,
+)
+from .schedule import ScheduleStep, build_schedule
+from .server import PROTOCOL_VERSION
+
+#: Base port for ``transport="tcp"`` swarms; node i listens on base + i.
+DEFAULT_BASE_PORT = 42640
+
+
+@keyword_only_dataclass
+@dataclass
+class SwarmConfig:
+    """Configuration of one live swarm run."""
+
+    experiment: ExperimentConfig
+    transport: str = "unix"
+    host: str = "127.0.0.1"
+    base_port: int = DEFAULT_BASE_PORT
+    runtime_dir: Optional[str] = None
+    startup_timeout: float = 30.0
+    read_timeout: float = DEFAULT_READ_TIMEOUT
+    extra_days: int = 0
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("unix", "tcp"):
+            raise ValueError(
+                f"transport must be 'unix' or 'tcp', got {self.transport!r}"
+            )
+        faults = self.experiment.faults
+        if faults is not None and faults.enabled:
+            raise ValueError(
+                "fault injection is simulation-only; a live swarm runs "
+                "over real channels (use the emulator for fault studies)"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment.to_dict(),
+            "transport": self.transport,
+            "host": self.host,
+            "base_port": self.base_port,
+            "runtime_dir": self.runtime_dir,
+            "startup_timeout": self.startup_timeout,
+            "read_timeout": self.read_timeout,
+            "extra_days": self.extra_days,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SwarmConfig":
+        payload = dict(data)
+        payload["experiment"] = ExperimentConfig.from_dict(
+            payload["experiment"]
+        )
+        return cls(**payload)
+
+
+@dataclass
+class SwarmReport:
+    """Everything a finished swarm run produced."""
+
+    run_id: str
+    fixed_points: Dict[str, Dict[str, Any]]
+    metrics: MetricsCollector
+    document: Dict[str, Any]
+    checkpoints: Dict[str, Optional[str]] = field(default_factory=dict)
+    skipped_injections: int = 0
+    output_path: Optional[str] = None
+
+    def artifact(self) -> Dict[str, Any]:
+        """The on-disk artifact: summary document + full per-run detail.
+
+        Shaped like a RunStore artifact (run id, config, metrics dump)
+        but written wherever the caller asks, *not* into a RunStore
+        directory — swarm run ids carry a ``swarm-`` prefix precisely so
+        they can never collide with (or masquerade as) the emulator
+        artifacts that sweeps resume from.
+        """
+        return {
+            "run_id": self.run_id,
+            "document": self.document,
+            "metrics": self.metrics.to_dict(),
+            "fixed_points": self.fixed_points,
+        }
+
+
+class _Node:
+    """Orchestrator-side handle on one serve subprocess."""
+
+    def __init__(self, name: str, address: str) -> None:
+        self.name = name
+        self.address = address
+        self.process: Optional[asyncio.subprocess.Process] = None
+        self.control: Optional[PeerConnection] = None
+
+
+class _Swarm:
+    def __init__(self, config: SwarmConfig) -> None:
+        self.config = config
+        self.scenario = build_scenario(config.experiment)
+        self.steps, self.end_time = build_schedule(
+            self.scenario, extra_days=config.extra_days
+        )
+        self.metrics = MetricsCollector()
+        self.skipped_injections = 0
+        self._user_location: Dict[str, str] = {}
+        self._owns_runtime_dir = config.runtime_dir is None
+        # Unix socket paths must stay short (the kernel caps sun_path at
+        # ~100 bytes), hence a fresh short tempdir rather than anything
+        # under the repo or a deep CWD.
+        self.runtime_dir = pathlib.Path(
+            config.runtime_dir or tempfile.mkdtemp(prefix="repro-swarm-")
+        )
+        self.nodes: Dict[str, _Node] = {}
+        for index, name in enumerate(sorted(self.scenario.nodes)):
+            if config.transport == "unix":
+                address = f"unix:{self.runtime_dir / (name + '.sock')}"
+            else:
+                address = f"tcp:{config.host}:{config.base_port + index}"
+            self.nodes[name] = _Node(name, address)
+
+    # -- process management ---------------------------------------------------
+
+    async def start(self) -> None:
+        self.runtime_dir.mkdir(parents=True, exist_ok=True)
+        config_path = self.runtime_dir / "experiment.json"
+        config_path.write_text(
+            json.dumps(self.config.experiment.to_dict(), indent=2)
+        )
+        state_dir = self.runtime_dir / "state"
+        env = dict(os.environ)
+        package_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing
+            else package_root + os.pathsep + existing
+        )
+        for node in self.nodes.values():
+            node.process = await asyncio.create_subprocess_exec(
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--config",
+                str(config_path),
+                "--node",
+                node.name,
+                "--listen",
+                node.address,
+                "--state-dir",
+                str(state_dir),
+                env=env,
+            )
+        await self._connect_all()
+
+    async def _connect_all(self) -> None:
+        # The dialer drives redial pacing through the peer-health state
+        # machine; generous attempts because N interpreters are cold-
+        # starting concurrently.
+        deadline = (
+            asyncio.get_running_loop().time() + self.config.startup_timeout
+        )
+        for node in self.nodes.values():
+            dialer = ReconnectDialer(
+                max_attempts=200, read_timeout=self.config.read_timeout
+            )
+            while True:
+                if node.process is not None and node.process.returncode is not None:
+                    raise RuntimeError(
+                        f"serve process for {node.name!r} exited with "
+                        f"{node.process.returncode} during startup"
+                    )
+                try:
+                    node.control = await dialer.dial(node.name, node.address)
+                    break
+                except (ConnectionError, OSError):
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise RuntimeError(
+                            f"could not reach {node.name!r} at "
+                            f"{node.address} within "
+                            f"{self.config.startup_timeout:.0f}s"
+                        )
+            await node.control.send(
+                {
+                    "type": "hello",
+                    "node": "orchestrator",
+                    "protocol": PROTOCOL_VERSION,
+                }
+            )
+            hello = await node.control.receive()
+            if hello.get("type") != "hello" or hello.get("node") != node.name:
+                raise RuntimeError(
+                    f"unexpected greeting from {node.name!r}: {hello!r}"
+                )
+
+    async def stop(self, persist: bool = True) -> Dict[str, Optional[str]]:
+        checkpoints: Dict[str, Optional[str]] = {}
+        for node in self.nodes.values():
+            if node.control is not None:
+                try:
+                    await node.control.send(
+                        {"type": "shutdown", "persist": persist}
+                    )
+                    reply = await node.control.receive()
+                    checkpoints[node.name] = reply.get("checkpoint")
+                except (ConnectionError, asyncio.TimeoutError, OSError):
+                    checkpoints[node.name] = None
+                await node.control.close()
+                node.control = None
+        for node in self.nodes.values():
+            if node.process is None:
+                continue
+            try:
+                await asyncio.wait_for(node.process.wait(), timeout=10.0)
+            except asyncio.TimeoutError:
+                node.process.kill()
+                await node.process.wait()
+            node.process = None
+        return checkpoints
+
+    async def kill(self) -> None:
+        """Hard cleanup after a failure: close channels, kill processes."""
+        for node in self.nodes.values():
+            if node.control is not None:
+                await node.control.close()
+                node.control = None
+            if node.process is not None and node.process.returncode is None:
+                node.process.kill()
+                await node.process.wait()
+                node.process = None
+
+    def cleanup_runtime_dir(self) -> None:
+        if self._owns_runtime_dir:
+            shutil.rmtree(self.runtime_dir, ignore_errors=True)
+
+    # -- directive replay -----------------------------------------------------
+
+    async def _command(
+        self, node: _Node, message: Dict[str, Any], expected: str
+    ) -> Dict[str, Any]:
+        assert node.control is not None
+        await node.control.send(message)
+        reply = await node.control.receive()
+        if reply.get("type") == "error":
+            raise RuntimeError(
+                f"{node.name} rejected {message.get('type')!r}: "
+                f"{reply.get('error')}"
+            )
+        if reply.get("type") != expected:
+            raise RuntimeError(
+                f"{node.name} answered {reply.get('type')!r} to "
+                f"{message.get('type')!r}"
+            )
+        return reply
+
+    def _record_deliveries(self, deliveries: Any) -> None:
+        # ``copies_at_delivery`` stays None on the live path: counting
+        # live copies network-wide at the instant of delivery needs the
+        # emulator's global view. The summary's mean-copies figure
+        # ignores None records; every other per-message metric (delay,
+        # delivery ratio) is exact.
+        for event in deliveries or ():
+            self.metrics.record_delivery(
+                decode_item_id(event["message_id"]),
+                float(event["time"]),
+                event["node"],
+                None,
+            )
+
+    async def _replay_step(self, step: ScheduleStep) -> None:
+        if step.kind == "assign":
+            day_map = step.payload["addresses"]
+            # Mirror Emulator._apply_assignment: every node gets its (or
+            # an empty) user set, and the user->node view is rebuilt.
+            for name, node in self.nodes.items():
+                reply = await self._command(
+                    node,
+                    {
+                        "type": "assign",
+                        "time": step.time,
+                        "addresses": day_map.get(name, []),
+                    },
+                    "assign-ok",
+                )
+                self._record_deliveries(reply.get("deliveries"))
+            self._user_location = {
+                user: name
+                for name, users in day_map.items()
+                for user in users
+            }
+        elif step.kind == "inject":
+            source = step.payload["source"]
+            if source in self.nodes:
+                node_name: Optional[str] = source
+            else:
+                node_name = self._user_location.get(source)
+            if node_name is None:
+                self.skipped_injections += 1
+                return
+            node = self.nodes[node_name]
+            reply = await self._command(
+                node,
+                {
+                    "type": "inject",
+                    "time": step.time,
+                    "source": source,
+                    "destination": step.payload["destination"],
+                    "body": step.payload["body"],
+                },
+                "inject-ok",
+            )
+            self.metrics.record_injection(
+                decode_item_id(reply["message_id"]),
+                source,
+                step.payload["destination"],
+                step.time,
+                node_name,
+            )
+            self._record_deliveries(reply.get("deliveries"))
+        elif step.kind == "encounter":
+            assert step.first is not None and step.second is not None
+            first = self.nodes[step.first]
+            second = self.nodes[step.second]
+            reply = await self._command(
+                first,
+                {
+                    "type": "encounter",
+                    "time": step.time,
+                    "peer": second.name,
+                    "address": second.address,
+                    "budget": step.budget,
+                },
+                "encounter-ok",
+            )
+            self.metrics.record_encounter()
+            for stats in reply["syncs"]:
+                self.metrics.record_sync(SyncStats.from_dict(stats))
+            self._record_deliveries(reply.get("deliveries"))
+        else:
+            raise ValueError(f"unknown schedule step kind {step.kind!r}")
+
+    async def replay(self) -> None:
+        for step in self.steps:
+            await self._replay_step(step)
+
+    # -- end of run -----------------------------------------------------------
+
+    async def collect(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot every node; finalise metrics from the global view."""
+        fixed_points: Dict[str, Dict[str, Any]] = {}
+        held: Dict[str, set] = {}
+        evictions = 0
+        for name in sorted(self.nodes):
+            reply = await self._command(
+                self.nodes[name], {"type": "snapshot"}, "snapshot-ok"
+            )
+            fixed_points[name] = reply["fixed_point"]
+            held[name] = set(reply["held"])
+            evictions += int(reply.get("evictions", 0))
+        self.metrics.evictions = evictions
+        self.metrics.end_time = self.end_time
+        for record in self.metrics.records.values():
+            key = str(record.message_id)
+            record.copies_at_end = sum(
+                1 for ids in held.values() if key in ids
+            )
+        return fixed_points
+
+
+async def _run_swarm(
+    config: SwarmConfig, output: Optional[str]
+) -> SwarmReport:
+    swarm = _Swarm(config)
+    try:
+        await swarm.start()
+        await swarm.replay()
+        fixed_points = await swarm.collect()
+        checkpoints = await swarm.stop(persist=True)
+    except BaseException:
+        await swarm.kill()
+        raise
+    finally:
+        swarm.cleanup_runtime_dir()
+
+    experiment = config.experiment
+    run_id = f"swarm-{run_id_for(experiment)}"
+    document = run_summary_document(
+        kind="swarm",
+        label=experiment.label(),
+        scale=experiment.scale,
+        summary=swarm.metrics.summary(),
+        extra={
+            "run_id": run_id,
+            "transport": config.transport,
+            "nodes": len(swarm.nodes),
+            "skipped_injections": swarm.skipped_injections,
+        },
+    )
+    report = SwarmReport(
+        run_id=run_id,
+        fixed_points=fixed_points,
+        metrics=swarm.metrics,
+        document=document,
+        checkpoints=checkpoints,
+        skipped_injections=swarm.skipped_injections,
+    )
+    if output:
+        path = pathlib.Path(output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(canonical_json(report.artifact()) + "\n")
+        report.output_path = str(path)
+    return report
+
+
+def run_swarm(
+    config: SwarmConfig, output: Optional[str] = None
+) -> SwarmReport:
+    """Run a live swarm to completion; optionally write the artifact.
+
+    Synchronous wrapper (spawning, replay, and teardown all happen on a
+    private event loop) so callers — the CLI, the parity harness, tests —
+    need no asyncio plumbing of their own.
+    """
+    return asyncio.run(_run_swarm(config, output))

@@ -11,14 +11,18 @@ Section V of the paper.
 Typical use::
 
     from repro.replication import (
-        Replica, ReplicaId, AddressFilter, SyncEndpoint, perform_encounter,
+        Replica, ReplicaId, AddressFilter, SyncEndpoint, EncounterSession,
     )
 
     alice = Replica(ReplicaId("alice"), AddressFilter("alice"))
     bob = Replica(ReplicaId("bob"), AddressFilter("bob"))
     alice.create_item("hi bob", {"destination": "bob"})
-    perform_encounter(SyncEndpoint(alice), SyncEndpoint(bob))
+    EncounterSession(first=SyncEndpoint(alice), second=SyncEndpoint(bob)).run()
     assert any(i.payload == "hi bob" for i in bob.stored_items())
+
+(``perform_sync`` / ``perform_encounter`` remain as deprecated shims over
+:class:`~repro.replication.session.SyncSession` /
+:class:`~repro.replication.session.EncounterSession`.)
 """
 
 from .codec import (
@@ -119,6 +123,7 @@ from .routing import (
     RoutingPolicy,
     SyncContext,
 )
+from .session import EncounterSession, SessionConfig, SyncSession, Transport
 from .store import ItemStore, RelayStore
 from .sync import (
     BatchEntry,
@@ -148,6 +153,7 @@ __all__ = [
     "CodecError",
     "DigestConfig",
     "DuplicateDeliveryError",
+    "EncounterSession",
     "Filter",
     "FilterTree",
     "HEALTHY",
@@ -183,12 +189,15 @@ __all__ = [
     "ReplicationError",
     "RoutingPolicy",
     "SUSPECT",
+    "SessionConfig",
     "SuppressionLedger",
     "SyncContext",
     "SyncEndpoint",
     "SyncProtocolError",
     "SyncRequest",
+    "SyncSession",
     "SyncStats",
+    "Transport",
     "UnknownItemError",
     "VIOLATION_CHECKSUM_MISMATCH",
     "VIOLATION_DIGEST",

@@ -31,7 +31,8 @@ from .filters import AddressFilter, AllFilter, Filter, MultiAddressFilter
 from .items import Item
 from .replica import Replica
 from .routing import Priority, PriorityClass, RoutingPolicy, SyncContext
-from .sync import SyncEndpoint, SyncStats, perform_sync
+from .session import SyncSession
+from .sync import SyncEndpoint, SyncStats
 
 
 class PushUpPolicy(RoutingPolicy):
@@ -181,19 +182,19 @@ class FilterTree:
         edges = self._edges_bottom_up()
         for child, parent in edges:
             stats.append(
-                perform_sync(
+                SyncSession(
                     source=self._nodes[child].endpoint,
                     target=self._nodes[parent].endpoint,
                     now=now,
-                )
+                ).run()
             )
         for child, parent in reversed(edges):
             stats.append(
-                perform_sync(
+                SyncSession(
                     source=self._nodes[parent].endpoint,
                     target=self._nodes[child].endpoint,
                     now=now,
-                )
+                ).run()
             )
         return stats
 

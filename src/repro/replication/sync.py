@@ -33,7 +33,8 @@ MaxProp's ordering is designed for.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro._compat import DATACLASS_SLOTS
@@ -198,6 +199,88 @@ class SyncStats:
     def completed(self) -> bool:
         """True when every transmitted item reached the target."""
         return not self.interrupted
+
+    # Every plain counter/flag field, in declaration order — the wire
+    # representation ships these verbatim.
+    _COUNTER_FIELDS = (
+        "candidates",
+        "store_size",
+        "index_skipped",
+        "filter_cache_hits",
+        "filter_cache_misses",
+        "filter_cache_invalidations",
+        "checksum_cache_hits",
+        "checksum_cache_misses",
+        "checksum_cache_invalidations",
+        "sent_total",
+        "sent_matching",
+        "sent_relayed",
+        "truncated",
+        "received_total",
+        "lost_in_transit",
+        "redundant_received",
+        "quarantined_entries",
+        "rejected_knowledge",
+        "metadata_bytes",
+        "digest_used",
+        "digest_suppressed",
+        "fp_resend",
+        "interrupted",
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe encoding, so a networked source can ship its half.
+
+        The live transport runs the source and target halves of a sync in
+        different OS processes; the source's counters travel to the
+        session coordinator in this form and are merged there.
+        ``from_dict`` reconstructs an equal record.
+        """
+        from .codec import encode_item
+
+        data: Dict[str, Any] = {
+            "source": self.source.name,
+            "target": self.target.name,
+        }
+        for name in self._COUNTER_FIELDS:
+            data[name] = getattr(self, name)
+        data["delivered_items"] = [
+            encode_item(item) for item in self.delivered_items
+        ]
+        data["violations"] = [
+            {
+                "kind": violation.kind,
+                "peer": violation.peer,
+                "observer": violation.observer,
+                "detail": violation.detail,
+            }
+            for violation in self.violations
+        ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SyncStats":
+        from .codec import decode_item
+
+        stats = cls(
+            source=ReplicaId(data["source"]), target=ReplicaId(data["target"])
+        )
+        for name in cls._COUNTER_FIELDS:
+            if name in data:
+                setattr(stats, name, data[name])
+        stats.delivered_items = [
+            decode_item(encoded) for encoded in data.get("delivered_items", [])
+        ]
+        stats.violations = [
+            ProtocolViolation(
+                kind=violation["kind"],
+                peer=violation["peer"],
+                observer=violation["observer"],
+                detail=violation.get("detail", ""),
+            )
+            for violation in data.get("violations", [])
+        ]
+        return stats
 
 
 def build_request(
@@ -702,81 +785,34 @@ def perform_sync(
     fabricated knowledge) — the hardened :func:`build_batch` /
     :func:`apply_batch` paths detect both.
 
-    ``use_cache`` (the default) serves the stamping from the source's
-    :class:`~repro.replication.integrity.ChecksumCache` and the
-    verification from the target's — identical checksums, identical
-    quarantine decisions, hashing each distinct content once instead of
-    once per hop. The ``checksum_cache_*`` stats fields report how both
-    ends' caches fared over this session. ``use_cache=False`` recomputes
-    everything; the perfect-channel path (``transport=None``) touches no
-    checksums and no caches either way.
+    .. deprecated::
+        ``perform_sync`` is a thin shim over
+        :class:`repro.replication.session.SyncSession` — construct one
+        (keyword-only) and call :meth:`~SyncSession.run` instead. The
+        shim emits :class:`DeprecationWarning` and will be removed after
+        one release, per the policy in ``docs/api.md``.
     """
-    target_context = SyncContext(
-        local=target.replica_id, remote=source.replica_id, now=now
+    warnings.warn(
+        "perform_sync() is deprecated; use "
+        "repro.replication.session.SyncSession(...).run() "
+        "(exported via repro.api)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    source_context = SyncContext(
-        local=source.replica_id, remote=target.replica_id, now=now
-    )
-    request = build_request(target, target_context, digest=digest)
-    if transport is not None and hasattr(transport, "corrupt_request"):
-        request = transport.corrupt_request(request)
-    batch, stats = build_batch(
-        source, request, source_context, max_items=max_items, use_index=use_index
-    )
-    if transport is None:
-        source.policy.on_items_sent(
-            [entry.item for entry in batch], source_context
-        )
-        return apply_batch(target, batch, stats)
-    source_cache = source.replica.checksum_cache
-    target_cache = target.replica.checksum_cache
-    if use_cache:
-        counters_before = (
-            source_cache.hits + target_cache.hits,
-            source_cache.misses + target_cache.misses,
-            source_cache.invalidations + target_cache.invalidations,
-        )
-        stamped = [
-            replace(entry, checksum=source_cache.checksum_outgoing(entry.item))
-            for entry in batch
-        ]
-    else:
-        stamped = [
-            replace(entry, checksum=item_checksum(entry.item))
-            for entry in batch
-        ]
-    outcome = transport.deliver(stamped)
-    stats.interrupted = outcome.truncated
-    stats.lost_in_transit = outcome.lost
-    confirmed = getattr(outcome, "confirmed", None)
-    if confirmed is None:
-        confirmed = outcome.delivered
-    delivered_once = _each_entry_once(
-        [entry for entry in confirmed if isinstance(entry, BatchEntry)]
-    )
-    source.policy.on_items_sent(
-        [entry.item for entry in delivered_once], source_context
-    )
-    apply_batch(
-        target,
-        outcome.delivered,
-        stats,
-        tolerate_duplicates=True,
-        use_cache=use_cache,
-    )
-    if use_cache:
-        stats.checksum_cache_hits = (
-            source_cache.hits + target_cache.hits - counters_before[0]
-        )
-        stats.checksum_cache_misses = (
-            source_cache.misses + target_cache.misses - counters_before[1]
-        )
-        stats.checksum_cache_invalidations = (
-            source_cache.invalidations
-            + target_cache.invalidations
-            - counters_before[2]
-        )
-    return stats
+    from .session import SessionConfig, SyncSession
+
+    return SyncSession(
+        source=source,
+        target=target,
+        now=now,
+        config=SessionConfig(
+            max_items=max_items,
+            use_index=use_index,
+            use_cache=use_cache,
+            digest=digest,
+        ),
+        transport=transport,
+    ).run()
 
 
 def perform_encounter(
@@ -803,42 +839,32 @@ def perform_encounter(
     ``transport_factory``, when given, is called once per sync session
     with ``(source_id, target_id)`` and returns the (possibly faulty)
     channel for that session, or None for perfect delivery.
+
+    .. deprecated::
+        ``perform_encounter`` is a thin shim over
+        :class:`repro.replication.session.EncounterSession` — construct
+        one (keyword-only) and call :meth:`~EncounterSession.run`
+        instead. The shim emits :class:`DeprecationWarning` and will be
+        removed after one release, per the policy in ``docs/api.md``.
     """
-    first_context = SyncContext(
-        local=first.replica_id, remote=second.replica_id, now=now
+    warnings.warn(
+        "perform_encounter() is deprecated; use "
+        "repro.replication.session.EncounterSession(...).run() "
+        "(exported via repro.api)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    second_context = SyncContext(
-        local=second.replica_id, remote=first.replica_id, now=now
-    )
-    first.policy.on_encounter_start(first_context)
-    second.policy.on_encounter_start(second_context)
+    from .session import EncounterSession, SessionConfig
 
-    def channel(source: SyncEndpoint, target: SyncEndpoint) -> Optional[Any]:
-        if transport_factory is None:
-            return None
-        return transport_factory(source.replica_id, target.replica_id)
-
-    budget = max_items_per_encounter
-    stats_a = perform_sync(
-        source=first,
-        target=second,
+    return EncounterSession(
+        first=first,
+        second=second,
         now=now,
-        max_items=budget,
-        transport=channel(first, second),
-        use_index=use_index,
-        use_cache=use_cache,
-        digest=digest,
-    )
-    if budget is not None:
-        budget = max(0, budget - stats_a.sent_total)
-    stats_b = perform_sync(
-        source=second,
-        target=first,
-        now=now,
-        max_items=budget,
-        transport=channel(second, first),
-        use_index=use_index,
-        use_cache=use_cache,
-        digest=digest,
-    )
-    return [stats_a, stats_b]
+        config=SessionConfig(
+            max_items=max_items_per_encounter,
+            use_index=use_index,
+            use_cache=use_cache,
+            digest=digest,
+        ),
+        transport_factory=transport_factory,
+    ).run()

@@ -1,0 +1,134 @@
+"""Unit tests for the length-prefixed wire framing.
+
+The decoder must survive everything a real TCP stream does to a byte
+sequence: arbitrary segmentation, junk prefixes from a confused peer,
+corrupt length fields, and a connection cut mid-frame (the live analogue
+of the truncation fault in :mod:`repro.faults` — a proper prefix of the
+bytes arrives, and nothing after the cut may be invented).
+"""
+
+import random
+
+import pytest
+
+from repro.net.framing import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FramingError,
+    encode_frame,
+)
+
+MESSAGES = [
+    {"type": "hello", "node": "bus00", "protocol": 1},
+    {"type": "sync-request", "request": {"knowledge": {}, "filter": "f"}},
+    {"type": "sync-ack", "stats": {"sent_total": 3, "nested": [1, 2, 3]}},
+]
+
+
+def test_round_trip_single_frame():
+    decoder = FrameDecoder()
+    assert decoder.feed(encode_frame(MESSAGES[0])) == [MESSAGES[0]]
+    assert decoder.pending == 0
+
+
+def test_round_trip_many_frames_one_feed():
+    data = b"".join(encode_frame(m) for m in MESSAGES)
+    assert FrameDecoder().feed(data) == MESSAGES
+
+
+def test_byte_at_a_time():
+    decoder = FrameDecoder()
+    out = []
+    for message in MESSAGES:
+        for i in bytes(encode_frame(message)):
+            out.extend(decoder.feed(bytes([i])))
+    assert out == MESSAGES
+    assert decoder.pending == 0
+
+
+def test_random_segmentation():
+    """Frames split at arbitrary TCP segment boundaries reassemble."""
+    rng = random.Random(7)
+    stream = b"".join(encode_frame(m) for m in MESSAGES * 10)
+    decoder = FrameDecoder()
+    out = []
+    position = 0
+    while position < len(stream):
+        size = rng.randint(1, 37)
+        out.extend(decoder.feed(stream[position:position + size]))
+        position += size
+    assert out == MESSAGES * 10
+
+
+def test_junk_prefix_resync():
+    decoder = FrameDecoder()
+    got = decoder.feed(b"NOISE-NOT-A-FRAME" + encode_frame(MESSAGES[0]))
+    assert got == [MESSAGES[0]]
+    assert decoder.resyncs == 1
+    assert decoder.junk_bytes == len(b"NOISE-NOT-A-FRAME")
+
+
+def test_junk_ending_in_partial_magic():
+    """A junk tail that is a proper prefix of MAGIC must be retained."""
+    decoder = FrameDecoder()
+    assert decoder.feed(b"garbage" + MAGIC[:2]) == []
+    # The rest of the magic plus the frame body completes the frame.
+    frame = encode_frame(MESSAGES[1])
+    assert decoder.feed(frame[2:]) == [MESSAGES[1]]
+
+
+def test_bogus_length_rescan_finds_next_frame():
+    """An insane length field cannot blind the decoder to a later frame."""
+    bogus = MAGIC + (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+    decoder = FrameDecoder()
+    got = decoder.feed(bogus + encode_frame(MESSAGES[2]))
+    assert got == [MESSAGES[2]]
+    assert decoder.resyncs >= 1
+
+
+def test_corrupt_payload_counted_and_skipped():
+    frame = bytearray(encode_frame(MESSAGES[0]))
+    frame[HEADER_SIZE + 2] ^= 0xFF  # flip a payload byte -> invalid JSON
+    decoder = FrameDecoder()
+    got = decoder.feed(bytes(frame) + encode_frame(MESSAGES[1]))
+    assert got == [MESSAGES[1]]
+    assert decoder.corrupt_frames == 1
+
+
+def test_non_object_payload_is_corrupt_not_fatal():
+    payload = b"[1,2,3]"
+    frame = MAGIC + len(payload).to_bytes(4, "big") + payload
+    decoder = FrameDecoder()
+    assert decoder.feed(frame + encode_frame(MESSAGES[0])) == [MESSAGES[0]]
+    assert decoder.corrupt_frames == 1
+
+
+def test_crash_mid_frame_keeps_prefix_pending():
+    """A cut connection leaves a decodable prefix and a pending tail.
+
+    Mirrors the truncation-fault contract: every frame completed before
+    the cut is delivered, nothing after it is, and the receiver can tell
+    the stream ended mid-frame.
+    """
+    stream = encode_frame(MESSAGES[0]) + encode_frame(MESSAGES[1])
+    cut = len(stream) - 5
+    decoder = FrameDecoder()
+    assert decoder.feed(stream[:cut]) == [MESSAGES[0]]
+    assert decoder.pending > 0  # the torn second frame is detectable
+
+
+def test_encode_rejects_non_dict():
+    with pytest.raises(FramingError):
+        encode_frame(["not", "a", "mapping"])
+
+
+def test_encode_rejects_oversized():
+    huge = {"blob": "x" * (MAX_FRAME_BYTES + 1)}
+    with pytest.raises(FramingError):
+        encode_frame(huge)
+
+
+def test_encoding_is_canonical():
+    assert encode_frame({"b": 1, "a": 2}) == encode_frame({"a": 2, "b": 1})

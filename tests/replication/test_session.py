@@ -1,0 +1,214 @@
+"""Tests for the transport-agnostic session API and its deprecation shims.
+
+:class:`SyncSession` / :class:`EncounterSession` are the supported way to
+run the Figure 4 exchange; ``perform_sync`` / ``perform_encounter`` must
+keep working (they shim onto the sessions, with a DeprecationWarning) and
+produce byte-identical outcomes — that equivalence is what lets every
+pre-existing caller migrate at leisure.
+"""
+
+import warnings
+from dataclasses import FrozenInstanceError
+
+import pytest
+
+from repro.replication import (
+    AddressFilter,
+    EncounterSession,
+    Priority,
+    PriorityClass,
+    Replica,
+    ReplicaId,
+    RoutingPolicy,
+    SessionConfig,
+    SyncEndpoint,
+    SyncSession,
+    Transport,
+    perform_encounter,
+    perform_sync,
+)
+from repro.replication.digest import DigestConfig
+from repro.replication.persistence import replica_to_state
+
+
+def replica(name):
+    return Replica(ReplicaId(name), AddressFilter(name))
+
+
+class Flood(RoutingPolicy):
+    name = "flood-test"
+
+    def to_send(self, item, target_filter, context):
+        return Priority(PriorityClass.NORMAL)
+
+
+def seeded_pair():
+    """Two replicas with overlapping content, built identically."""
+    alice, bob = replica("alice"), replica("bob")
+    for i in range(4):
+        bob.create_item(f"to-alice-{i}", {"destination": "alice"})
+        alice.create_item(f"to-bob-{i}", {"destination": "bob"})
+    bob.create_item("elsewhere", {"destination": "carol"})
+    return alice, bob
+
+
+def state_of(*replicas):
+    return [replica_to_state(r) for r in replicas]
+
+
+class TestSyncSessionEquivalence:
+    def test_run_matches_perform_sync(self):
+        a1, b1 = seeded_pair()
+        a2, b2 = seeded_pair()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = perform_sync(SyncEndpoint(b1), SyncEndpoint(a1), now=5.0)
+        stats = SyncSession(
+            source=SyncEndpoint(b2), target=SyncEndpoint(a2), now=5.0
+        ).run()
+        assert stats.sent_total == legacy.sent_total
+        assert stats.sent_matching == legacy.sent_matching
+        assert state_of(a1, b1) == state_of(a2, b2)
+
+    def test_stepwise_matches_run(self):
+        """Driving the halves by hand reaches the same state as run()."""
+        a1, b1 = seeded_pair()
+        a2, b2 = seeded_pair()
+        SyncSession(
+            source=SyncEndpoint(b1), target=SyncEndpoint(a1), now=0.0
+        ).run()
+
+        # The stepwise path is exactly what the live server does on each
+        # side of a socket: request, response, stamp, apply, confirm.
+        target = SyncSession(
+            target=SyncEndpoint(a2), peer=ReplicaId("bob"), now=0.0
+        )
+        source = SyncSession(
+            source=SyncEndpoint(b2), peer=ReplicaId("alice"), now=0.0
+        )
+        request = target.build_request()
+        batch, stats = source.build_response(request)
+        stamped = source.stamp(batch)
+        target.apply(stamped, stats=stats)
+        source.confirm_sent(stamped)
+        assert state_of(a1, b1) == state_of(a2, b2)
+
+    def test_max_items_override_wins_over_config(self):
+        alice, bob = seeded_pair()
+        source = SyncSession(
+            source=SyncEndpoint(bob),
+            peer=ReplicaId("alice"),
+            config=SessionConfig(max_items=100),
+        )
+        target = SyncSession(
+            target=SyncEndpoint(alice), peer=ReplicaId("bob")
+        )
+        batch, _ = source.build_response(target.build_request(), max_items=2)
+        assert len(batch) == 2
+
+    def test_requires_an_endpoint(self):
+        with pytest.raises(ValueError):
+            SyncSession(now=0.0)
+
+    def test_half_open_requires_peer(self):
+        alice = replica("alice")
+        with pytest.raises(ValueError):
+            SyncSession(target=SyncEndpoint(alice))
+
+
+class TestEncounterSessionEquivalence:
+    def test_matches_perform_encounter_with_budget(self):
+        a1, b1 = seeded_pair()
+        a2, b2 = seeded_pair()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = perform_encounter(
+                SyncEndpoint(a1), SyncEndpoint(b1),
+                now=9.0, max_items_per_encounter=5,
+            )
+        stats = EncounterSession(
+            first=SyncEndpoint(a2),
+            second=SyncEndpoint(b2),
+            now=9.0,
+            config=SessionConfig(max_items=5),
+        ).run()
+        assert [s.sent_total for s in stats] == [
+            s.sent_total for s in legacy
+        ]
+        # The shared-budget handoff: the second sync spends what the
+        # first left over.
+        assert sum(s.sent_total for s in stats) <= 5
+        assert state_of(a1, b1) == state_of(a2, b2)
+
+    def test_begin_fires_policy_hooks_once(self):
+        class Counting(Flood):
+            def __init__(self):
+                self.encounters = 0
+
+            def on_encounter_start(self, context):
+                self.encounters += 1
+
+        alice, bob = replica("alice"), replica("bob")
+        pa, pb = Counting(), Counting()
+        EncounterSession(
+            first=SyncEndpoint(alice, pa), second=SyncEndpoint(bob, pb)
+        ).run()
+        assert (pa.encounters, pb.encounters) == (1, 1)
+
+
+class TestDeprecationShims:
+    def test_perform_sync_warns(self):
+        alice, bob = replica("alice"), replica("bob")
+        with pytest.warns(DeprecationWarning, match="SyncSession"):
+            perform_sync(SyncEndpoint(bob), SyncEndpoint(alice))
+
+    def test_perform_encounter_warns(self):
+        alice, bob = replica("alice"), replica("bob")
+        with pytest.warns(DeprecationWarning, match="EncounterSession"):
+            perform_encounter(SyncEndpoint(alice), SyncEndpoint(bob))
+
+
+class TestSessionConfig:
+    def test_keyword_only(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(DeprecationWarning):
+                SessionConfig(5)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            SessionConfig(bogus=1)
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ValueError):
+            SessionConfig(max_items=-1)
+
+    def test_frozen(self):
+        config = SessionConfig()
+        with pytest.raises(FrozenInstanceError):
+            config.max_items = 3
+
+    def test_round_trip_with_digest(self):
+        config = SessionConfig(
+            max_items=7,
+            use_index=False,
+            digest=DigestConfig(fp_rate=0.01, force=True),
+        )
+        restored = SessionConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_round_trip_defaults(self):
+        assert SessionConfig.from_dict(SessionConfig().to_dict()) == SessionConfig()
+
+
+class TestTransportProtocol:
+    def test_runtime_checkable_against_fault_transport(self):
+        import random
+
+        from repro.faults.transport import FaultyTransport
+
+        transport = FaultyTransport(random.Random(1))
+        assert isinstance(transport, Transport)
+
+    def test_rejects_non_transports(self):
+        assert not isinstance(object(), Transport)
