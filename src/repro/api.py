@@ -30,6 +30,13 @@ Groups:
   :func:`available_policies`, :func:`default_parameters`,
   :data:`PAPER_POLICY_ORDER`.
 * **Faults** — :class:`FaultConfig`.
+* **Churn** — :class:`ChurnConfig` arms the node-lifecycle model
+  (arrivals, graceful leaves with handoff, crash/rejoin, free riders,
+  reciprocity-gated admission); :class:`ChurnSchedule` /
+  :class:`LifecycleEvent` / :func:`generate_churn_schedule` expose the
+  derived schedule, :class:`FreeRiderPolicy` the selfish wrapper, and
+  :func:`check_churn_parity` the emulator-vs-swarm gate under churn
+  (see ``docs/churn.md``).
 * **Integrity** — :class:`ProtocolViolation`, :class:`PeerHealthTracker`
   (the hardened-sync layer; see ``docs/protocol.md`` §7),
   :class:`ChecksumCache` (the content-addressed checksum cache every
@@ -91,8 +98,16 @@ from repro.experiments.sweep import (
     expand_grid,
     run_sweep,
 )
+from repro.churn import (
+    ChurnConfig,
+    ChurnSchedule,
+    FreeRiderPolicy,
+    LifecycleEvent,
+    generate_churn_schedule,
+)
 from repro.experiments.parity import (
     ParityReport,
+    check_churn_parity,
     check_convergence_parity,
     compare_fixed_points,
     replica_fixed_point,
@@ -112,13 +127,17 @@ from repro.traces.dieselnet import MetroConfig, generate_metro_trace
 
 __all__ = [
     "ChecksumCache",
+    "ChurnConfig",
+    "ChurnSchedule",
     "ColumnarUnsupportedError",
     "DigestConfig",
     "EncounterSession",
     "ExperimentConfig",
     "ExperimentResult",
     "FaultConfig",
+    "FreeRiderPolicy",
     "KnowledgeDigest",
+    "LifecycleEvent",
     "MessageRecord",
     "MetricsCollector",
     "MetroConfig",
@@ -137,6 +156,7 @@ __all__ = [
     "SyncSession",
     "Transport",
     "available_policies",
+    "check_churn_parity",
     "check_convergence_parity",
     "columnar_unsupported_reason",
     "comparable_metrics",
@@ -145,6 +165,7 @@ __all__ = [
     "configured_scale",
     "default_parameters",
     "expand_grid",
+    "generate_churn_schedule",
     "generate_metro_trace",
     "get_policy",
     "register_policy",

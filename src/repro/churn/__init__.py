@@ -1,0 +1,52 @@
+"""Node churn as a first-class scenario.
+
+Real DTN deployments live with nodes that join late, leave for good,
+crash without warning, and sometimes free-ride. This package models all
+four as a seeded, declarative layer over the emulation and live-swarm
+engines:
+
+* :class:`ChurnConfig` — the frozen, validated knob set, carried on
+  :class:`~repro.experiments.config.ExperimentConfig` (``churn=``);
+* :func:`generate_churn_schedule` — a deterministic
+  :class:`ChurnSchedule` of :class:`LifecycleEvent`\\ s derived from
+  ``(config, trace)`` alone, so every process computes the same plan;
+* :class:`LifecycleTracker` — run-time availability + recovery
+  bookkeeping shared by the emulator and the swarm orchestrator;
+* :class:`ReciprocityLedger` — per-node trust trackers and the
+  population-wide generosity scores;
+* :class:`FreeRiderPolicy` — selfish serving behaviours layered over
+  any honest routing policy.
+
+See ``docs/churn.md`` for the model and its live-mode semantics.
+"""
+
+from .config import FREE_RIDER_MODES, ChurnConfig
+from .freeride import FreeRiderPolicy
+from .lifecycle import LifecycleTracker
+from .schedule import (
+    ARRIVE,
+    CRASH,
+    EVENT_KINDS,
+    LEAVE,
+    REJOIN,
+    ChurnSchedule,
+    LifecycleEvent,
+    generate_churn_schedule,
+)
+from .trust import ReciprocityLedger
+
+__all__ = [
+    "ARRIVE",
+    "CRASH",
+    "EVENT_KINDS",
+    "FREE_RIDER_MODES",
+    "LEAVE",
+    "REJOIN",
+    "ChurnConfig",
+    "ChurnSchedule",
+    "FreeRiderPolicy",
+    "LifecycleEvent",
+    "LifecycleTracker",
+    "ReciprocityLedger",
+    "generate_churn_schedule",
+]

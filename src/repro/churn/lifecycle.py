@@ -1,0 +1,107 @@
+"""Run-time tracking of node availability under a churn schedule.
+
+One :class:`LifecycleTracker` instance drives both execution modes: the
+emulator applies each :class:`~repro.churn.schedule.LifecycleEvent` as a
+discrete event, the swarm orchestrator applies the same events as replay
+steps — the tracker answers "is this node online right now?" for both,
+and accrues the availability and recovery metrics either way. Keeping
+the bookkeeping here (rather than duplicated in the two engines) is
+what keeps the two worlds' churn metrics identical by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.emulation.metrics import MetricsCollector
+
+from .schedule import ARRIVE, CRASH, LEAVE, REJOIN, ChurnSchedule, LifecycleEvent
+
+
+class LifecycleTracker:
+    """Availability state machine for every node in a churning run."""
+
+    def __init__(self, nodes: Iterable[str], schedule: ChurnSchedule) -> None:
+        self._online: Dict[str, bool] = {
+            name: name not in schedule.initially_offline for name in nodes
+        }
+        #: When each currently-online node came up (for node-seconds).
+        self._online_since: Dict[str, float] = {
+            name: 0.0 for name, up in self._online.items() if up
+        }
+        #: Rejoined nodes that have not yet completed a post-rejoin
+        #: encounter; value is the rejoin time (for recovery latency).
+        self._awaiting_recovery: Dict[str, float] = {}
+        self._departed: Set[str] = set()
+        self._node_seconds = 0.0
+
+    # -- queries --------------------------------------------------------------------
+
+    def online(self, name: str) -> bool:
+        """Is ``name`` up right now? Unknown names count as online."""
+        return self._online.get(name, True)
+
+    @property
+    def departed(self) -> frozenset:
+        """Nodes gone for good (graceful leavers)."""
+        return frozenset(self._departed)
+
+    # -- state changes --------------------------------------------------------------
+
+    def apply(
+        self, event: LifecycleEvent, now: float, metrics: MetricsCollector
+    ) -> None:
+        """Fold one lifecycle event into availability state and metrics."""
+        name = event.node
+        if event.kind == ARRIVE:
+            if not self._online.get(name, False):
+                self._online[name] = True
+                self._online_since[name] = now
+            metrics.record_churn_arrival()
+        elif event.kind == LEAVE:
+            self._go_offline(name, now)
+            self._departed.add(name)
+            metrics.record_churn_leave()
+        elif event.kind == CRASH:
+            self._go_offline(name, now)
+            metrics.record_churn_crash()
+        elif event.kind == REJOIN:
+            if not self._online.get(name, False):
+                self._online[name] = True
+                self._online_since[name] = now
+            self._awaiting_recovery[name] = now
+            metrics.record_churn_rejoin(amnesiac=event.amnesiac)
+        else:
+            raise ValueError(f"unknown lifecycle event kind {event.kind!r}")
+
+    def note_encounter(
+        self, a: str, b: str, now: float, metrics: MetricsCollector
+    ) -> None:
+        """Record that an encounter between ``a`` and ``b`` completed.
+
+        A rejoined node's first completed encounter marks its recovery —
+        the latency from rejoin to that contact is the rejoin recovery
+        time stamped into the metrics.
+        """
+        for name in (a, b):
+            rejoined_at = self._awaiting_recovery.pop(name, None)
+            if rejoined_at is not None:
+                metrics.record_rejoin_recovery(now - rejoined_at)
+
+    def finalize(self, end_time: float) -> float:
+        """Close out availability accounting; returns total node-seconds."""
+        for name, since in sorted(self._online_since.items()):
+            if self._online.get(name, False):
+                self._node_seconds += max(0.0, end_time - since)
+        self._online_since = {
+            name: end_time
+            for name, up in self._online.items()
+            if up
+        }
+        return self._node_seconds
+
+    def _go_offline(self, name: str, now: float) -> None:
+        if self._online.get(name, False):
+            self._online[name] = False
+            since = self._online_since.pop(name, 0.0)
+            self._node_seconds += max(0.0, now - since)

@@ -1,0 +1,77 @@
+"""Trust and reciprocity scoring over the whole population.
+
+:class:`ReciprocityLedger` is the run-level view of the per-replica
+trust machinery in :mod:`repro.replication.peer_health`: every node gets
+its own :class:`~repro.replication.peer_health.PeerHealthTracker` armed
+with the config's reciprocity knobs, encounters are admitted only when
+*both* sides consider the other reciprocal (tit-for-tat), and a global
+given/taken tally per node yields the population-wide reciprocity
+scores that land in ``MetricsCollector.summary()`` — the signal that
+separates free-riders from honest peers.
+
+Like the lifecycle tracker, one ledger implementation drives both the
+emulator and the swarm orchestrator, fed the same per-sync ``sent``
+totals in the same order, so both worlds gate and score identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.replication.peer_health import PeerHealthTracker
+
+
+class ReciprocityLedger:
+    """Per-node trust trackers plus the global generosity tally."""
+
+    def __init__(
+        self,
+        nodes: Iterable[str],
+        threshold: float = 0.0,
+        min_taken: int = 25,
+    ) -> None:
+        self.threshold = threshold
+        self.trackers: Dict[str, PeerHealthTracker] = {
+            name: PeerHealthTracker(
+                reciprocity_threshold=threshold,
+                reciprocity_min_taken=min_taken,
+            )
+            for name in sorted(nodes)
+        }
+        self._given: Dict[str, int] = {name: 0 for name in self.trackers}
+        self._taken: Dict[str, int] = {name: 0 for name in self.trackers}
+
+    # -- encounter admission --------------------------------------------------------
+
+    def admit(self, a: str, b: str) -> bool:
+        """Would both sides agree to sync? (Symmetric, side-effect free.)
+
+        Both views are evaluated without short-circuiting so the call
+        pattern stays identical regardless of which side would refuse —
+        the same discipline ``Emulator._peers_willing`` applies to the
+        health trackers.
+        """
+        a_willing = self.trackers[a].reciprocal(b)
+        b_willing = self.trackers[b].reciprocal(a)
+        return a_willing and b_willing
+
+    # -- accounting -----------------------------------------------------------------
+
+    def observe_sync(self, source: str, target: str, sent: int) -> None:
+        """Fold one directed sync's delivered item count into the ledger."""
+        self.trackers[source].record_exchange(target, given=sent)
+        self.trackers[target].record_exchange(source, taken=sent)
+        self._given[source] += sent
+        self._taken[target] += sent
+
+    def scores(self) -> Dict[str, float]:
+        """Population-wide reciprocity score per node.
+
+        Items the node contributed over items it consumed, add-one
+        smoothed — honest peers hover around 1.0, receive-only
+        free-riders decay toward zero as they keep taking.
+        """
+        return {
+            name: (self._given[name] + 1) / (self._taken[name] + 1)
+            for name in self.trackers
+        }

@@ -11,13 +11,18 @@ Usage (installed as ``python -m repro``):
                         [--fault-duplication P] [--fault-crash P]
                         [--fault-corruption P] [--fault-replay P]
                         [--fault-fabrication P] [--fault-malformed P]
-                        [--fault-seed N] [--json PATH]
+                        [--fault-seed N] [--fault-rng-streams MODE]
+                        [--churn-arrivals F] [--churn-departures F]
+                        [--churn-crashes F] [--churn-amnesia P]
+                        [--churn-free-riders F] [--reciprocity-threshold R]
+                        [--churn-seed N] [--json PATH]
     python -m repro serve --node NAME --listen ADDR --config PATH
-                          [--state-dir DIR] [--read-timeout S]
+                          [--state-dir DIR] [--read-timeout S] [--amnesiac]
     python -m repro swarm [--policy P] [--scale S] [--addressing MODE]
                           [--bandwidth-limit N] [--storage-limit N]
                           [--filter-strategy STRAT --filter-k K]
                           [--digest] [--digest-fp-rate P]
+                          [--churn-* ...] [--reciprocity-threshold R]
                           [--transport unix|tcp] [--base-port N]
                           [--output PATH] [--parity]
     python -m repro sweep [--policies P ...] [--seeds N ...]
@@ -79,6 +84,7 @@ from repro.experiments.report import (
     render_table_2,
     run_summary_document,
 )
+from repro.churn import ChurnConfig
 from repro.experiments.runner import run_experiment
 from repro.faults import FaultConfig
 from repro.traces.dieselnet import (
@@ -86,6 +92,42 @@ from repro.traces.dieselnet import (
     format_trace_text,
     generate_dieselnet_trace,
 )
+
+
+def _add_churn_arguments(command: argparse.ArgumentParser) -> None:
+    churn = command.add_argument_group(
+        "node churn", "seeded lifecycle model (see docs/churn.md)"
+    )
+    churn.add_argument(
+        "--churn-arrivals", type=float, default=0.0, metavar="F",
+        help="fraction of hosts that arrive late instead of at t=0",
+    )
+    churn.add_argument(
+        "--churn-departures", type=float, default=0.0, metavar="F",
+        help="fraction of hosts that leave gracefully (with a handoff sync)",
+    )
+    churn.add_argument(
+        "--churn-crashes", type=float, default=0.0, metavar="F",
+        help="fraction of hosts that crash abruptly and later rejoin",
+    )
+    churn.add_argument(
+        "--churn-amnesia", type=float, default=0.5, metavar="P",
+        help="probability a crashed host rejoins amnesiac (lost its "
+             "checkpoint) rather than from durable state (default 0.5)",
+    )
+    churn.add_argument(
+        "--churn-free-riders", type=float, default=0.0, metavar="F",
+        help="fraction of hosts that receive but never (or barely) send",
+    )
+    churn.add_argument(
+        "--reciprocity-threshold", type=float, default=0.0, metavar="R",
+        help="refuse encounters with peers whose taken/given ratio "
+             "exceeds R (0 disables the gate)",
+    )
+    churn.add_argument(
+        "--churn-seed", type=int, default=0,
+        help="seed for the lifecycle schedule RNG (default 0)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,6 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=23,
         help="seed for the fault injector's RNG (default 23)",
     )
+    faults.add_argument(
+        "--fault-rng-streams", choices=("shared", "per-link"),
+        default="shared",
+        help="'per-link' derives an independent child RNG per node pair "
+             "(required for sharded columnar runs with faults)",
+    )
+    _add_churn_arguments(run)
     run.add_argument(
         "--json", type=pathlib.Path, default=None, metavar="PATH",
         help="also write the run summary (and fault counters, when armed) "
@@ -202,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--read-timeout", type=float, default=30.0, metavar="SECONDS",
         help="per-read socket timeout (default 30)",
+    )
+    serve.add_argument(
+        "--amnesiac", action="store_true",
+        help="rejoin having lost everything but identity: ignore any "
+             "checkpoint except its id-factory counters",
     )
 
     swarm = subparsers.add_parser(
@@ -241,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=pathlib.Path, default=None, metavar="PATH",
         help="metrics artifact path (default swarm-<run-id>.json)",
     )
+    _add_churn_arguments(swarm)
     swarm.add_argument(
         "--parity", action="store_true",
         help="also run the discrete-event emulator on the same config and "
@@ -488,6 +543,23 @@ FAULT_COUNTER_KEYS = (
 )
 
 
+#: Churn counters appended to ``repro run`` output when churn is armed.
+CHURN_COUNTER_KEYS = (
+    "churn_arrivals",
+    "churn_leaves",
+    "churn_crashes",
+    "churn_rejoins",
+    "churn_amnesiac_rejoins",
+    "churn_handoffs",
+    "churn_skipped_encounters",
+    "churn_lost_injections",
+    "reciprocity_refusals",
+    "node_hours_online",
+    "lost_to_departure",
+    "mean_rejoin_recovery_hours",
+)
+
+
 #: Digest counters appended to ``repro run`` output when the digest is armed.
 DIGEST_COUNTER_KEYS = (
     "metadata_bytes",
@@ -510,12 +582,35 @@ def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
     }
     if all(value == 0.0 for value in knobs.values()):
         return None
-    return FaultConfig(**knobs)
+    return FaultConfig(
+        **knobs, rng_streams=getattr(args, "fault_rng_streams", "shared")
+    )
+
+
+def _churn_config(args: argparse.Namespace) -> Optional[ChurnConfig]:
+    fractions = {
+        "arrival_fraction": args.churn_arrivals,
+        "departure_fraction": args.churn_departures,
+        "crash_fraction": args.churn_crashes,
+        "free_rider_fraction": args.churn_free_riders,
+    }
+    if (
+        all(value == 0.0 for value in fractions.values())
+        and args.reciprocity_threshold == 0.0
+    ):
+        return None
+    return ChurnConfig(
+        **fractions,
+        seed=args.churn_seed,
+        amnesia_probability=args.churn_amnesia,
+        reciprocity_threshold=args.reciprocity_threshold,
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     try:
         faults = _fault_config(args)
+        churn = _churn_config(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -530,6 +625,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             storage_limit=args.storage_limit,
             faults=faults,
             fault_seed=args.fault_seed,
+            churn=churn,
             knowledge_digest=args.digest,
             digest_fp_rate=args.digest_fp_rate,
         )
@@ -550,6 +646,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"digest counters (fp rate {config.digest_fp_rate:g}):")
         for key in DIGEST_COUNTER_KEYS:
             print(f"{key:>24} | {summary[key]:>11.0f}")
+    if churn is not None:
+        print()
+        print(f"churn counters (churn seed {churn.seed}):")
+        for key in CHURN_COUNTER_KEYS:
+            print(f"{key:>26} | {summary[key]:>11.2f}")
+        scores = summary.get("reciprocity_scores", {})
+        if scores:
+            print(f"{'reciprocity scores':>26} | " + ", ".join(
+                f"{name}={value:.2f}" for name, value in sorted(scores.items())
+            ))
     if args.json is not None:
         document = run_summary_document(
             kind="run",
@@ -580,6 +686,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             experiment=ExperimentConfig.from_dict(raw),
             state_dir=str(args.state_dir) if args.state_dir else None,
             read_timeout=args.read_timeout,
+            amnesiac=args.amnesiac,
         )
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -610,6 +717,7 @@ def cmd_swarm(args: argparse.Namespace) -> int:
             filter_k=args.filter_k,
             bandwidth_limit=args.bandwidth_limit,
             storage_limit=args.storage_limit,
+            churn=_churn_config(args),
             knowledge_digest=args.digest,
             digest_fp_rate=args.digest_fp_rate,
         )

@@ -45,8 +45,11 @@ workers through ``multiprocessing.shared_memory``, and merges the
 per-shard :class:`~repro.emulation.metrics.MetricsCollector` results
 deterministically.  Because items never cross shard boundaries (shards
 are unions of trace components), the merged result is identical to an
-unsharded run.  Fault injection draws from one global rng stream, so
-the sharded path requires ``faults=None``.
+unsharded run.  In the default ``rng_streams="shared"`` mode fault
+injection draws from one global rng stream, so the sharded path then
+requires ``faults=None``; ``rng_streams="per-link"`` gives every host
+pair its own seeded child stream, making armed transport faults safe to
+shard (a pair never crosses a component).
 """
 
 from __future__ import annotations
@@ -147,6 +150,9 @@ def columnar_unsupported_reason(config: Any) -> Optional[str]:
         return "columnar engine does not model delete_on_receipt"
     if config.knowledge_digest:
         return "columnar engine does not model knowledge digests"
+    churn = getattr(config, "churn", None)
+    if churn is not None and churn.enabled:
+        return "columnar engine does not model churn lifecycles"
     try:
         _policy_kind(get_policy(config.policy, **config.policy_parameters))
     except ColumnarUnsupportedError as exc:
@@ -405,7 +411,7 @@ class ColumnarWorld:
             if not injector.encounter_allowed(name_a, name_b, now):
                 self.metrics.record_backoff_skip()
                 return
-            if injector.should_drop_encounter():
+            if injector.should_drop_encounter(name_a, name_b):
                 self.failed_encounters += 1
                 self.metrics.record_dropped_encounter()
                 return
@@ -543,7 +549,7 @@ class ColumnarWorld:
         if self._transport_armed and batch:
             injector = self._injector
             assert injector is not None
-            rng = injector.rng
+            rng = injector.rng_for(self.hosts[src], self.hosts[tgt])
             truncation = injector._truncation
             if truncation is not None:
                 cut = truncation.plan_cut([1] * sent_total, rng)
@@ -954,6 +960,7 @@ def _shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
         host: frozenset(addresses)
         for host, addresses in payload["relay_sets"].items()
     }
+    faults_payload = payload.get("faults")
     world = ColumnarWorld(
         ColumnarTrace(hosts, l_times, l_a, l_b, array("d", bytes(8) * len(l_times))),
         injections,
@@ -961,7 +968,12 @@ def _shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
         policy_parameters=payload["policy_parameters"],
         relay_sets=relay_sets,
         bandwidth_limit=payload["bandwidth_limit"],
-        faults=None,
+        faults=(
+            FaultConfig.from_dict(faults_payload)
+            if faults_payload is not None
+            else None
+        ),
+        fault_seed=payload.get("fault_seed", 0),
         seed=0,
         order_draws=l_order,
     )
@@ -985,9 +997,12 @@ def run_columnar_sharded(
     Shards are unions of encounter-graph components, the trace columns
     travel via shared memory, and the encounter-order coin flips are
     precomputed in global trace order so each shard consumes exactly
-    the draws a global run would have given it.  Requires
-    ``config.faults`` to be None/disabled — the injector rng is a
-    single global stream that cannot be split.
+    the draws a global run would have given it.  Armed faults require
+    ``FaultConfig(rng_streams="per-link")``: every fault decision then
+    draws from a per-host-pair child stream, and since a pair never
+    crosses a component (hence never a shard), each worker makes
+    exactly the draws a global run would.  The default "shared" mode
+    keeps one global injector stream, which cannot be split.
     """
     from concurrent.futures import ProcessPoolExecutor
     from multiprocessing import get_context, shared_memory
@@ -995,10 +1010,15 @@ def run_columnar_sharded(
     reason = columnar_unsupported_reason(config)
     if reason is not None:
         raise ColumnarUnsupportedError(reason)
-    if config.faults is not None and config.faults.enabled:
+    if (
+        config.faults is not None
+        and config.faults.enabled
+        and config.faults.rng_streams != "per-link"
+    ):
         raise ColumnarUnsupportedError(
-            "sharded columnar runs require faults=None (the fault "
-            "injector draws from one global rng stream)"
+            "sharded columnar runs with faults require "
+            'FaultConfig(rng_streams="per-link") — the default shared '
+            "injector stream cannot be split across workers"
         )
     trace, injections, relay_sets = _build_inputs(config, trace, model)
     trace_summary = trace.summary()
@@ -1014,7 +1034,8 @@ def run_columnar_sharded(
             policy_parameters=config.policy_parameters,
             relay_sets=relay_sets,
             bandwidth_limit=config.bandwidth_limit,
-            faults=None,
+            faults=config.faults,
+            fault_seed=config.fault_seed,
             seed=config.encounter_order_seed,
         )
         return world.run(extra_days=extra_days), trace_summary
@@ -1091,6 +1112,12 @@ def run_columnar_sharded(
                     "policy": config.policy,
                     "policy_parameters": dict(config.policy_parameters),
                     "bandwidth_limit": config.bandwidth_limit,
+                    "faults": (
+                        config.faults.to_dict()
+                        if config.faults is not None and config.faults.enabled
+                        else None
+                    ),
+                    "fault_seed": config.fault_seed,
                     "end_time": end_time,
                 }
             )

@@ -154,6 +154,30 @@ class MetricsCollector:
     peak_rss_bytes = 0.0
     tracemalloc_peak_bytes = 0.0
 
+    # Churn/lifecycle accounting — also non-field class attributes, for
+    # the same reason as the memory stamps: churn-disabled run artifacts
+    # must stay byte-identical to pre-churn ones, so these keys enter
+    # neither to_dict() nor (unless churn_armed) summary().  A churning
+    # run sets churn_armed and the counters via the record_churn_*
+    # methods; reciprocity_scores is always *replaced* with a fresh dict
+    # (assignment creates an instance attribute — mutating the class
+    # attribute in place would leak state across collectors).
+    churn_armed = False
+    churn_arrivals = 0
+    churn_leaves = 0
+    churn_crashes = 0
+    churn_rejoins = 0
+    churn_amnesiac_rejoins = 0
+    churn_handoffs = 0
+    churn_skipped_encounters = 0
+    churn_lost_injections = 0
+    reciprocity_refusals = 0
+    node_seconds_online = 0.0
+    rejoin_recovery_seconds = 0.0
+    rejoin_recoveries = 0
+    lost_to_departure = 0
+    reciprocity_scores = {}  # Mapping[str, float] once finalize_churn ran
+
     # -- recording ------------------------------------------------------------------
 
     def record_injection(
@@ -245,6 +269,71 @@ class MetricsCollector:
         self.peer_health_transitions[label] = (
             self.peer_health_transitions.get(label, 0) + 1
         )
+
+    # -- churn recording (no-ops unless a churning engine drives them) --------------
+
+    def arm_churn(self) -> None:
+        """Mark this collector as belonging to a churning run.
+
+        Arming makes ``summary()`` include the lifecycle block; it does
+        not touch ``to_dict()``, so artifacts keep their schema.
+        """
+        self.churn_armed = True
+
+    def record_churn_arrival(self) -> None:
+        self.churn_arrivals += 1
+
+    def record_churn_leave(self) -> None:
+        self.churn_leaves += 1
+
+    def record_churn_crash(self) -> None:
+        self.churn_crashes += 1
+
+    def record_churn_rejoin(self, amnesiac: bool = False) -> None:
+        self.churn_rejoins += 1
+        if amnesiac:
+            self.churn_amnesiac_rejoins += 1
+
+    def record_churn_handoff(self) -> None:
+        """A leaver's final sync with its handoff partner actually ran."""
+        self.churn_handoffs += 1
+
+    def record_churn_skip(self) -> None:
+        """An encounter skipped because a participant was offline."""
+        self.churn_skipped_encounters += 1
+
+    def record_churn_lost_injection(self) -> None:
+        """An injection that fell on an offline node (message never born)."""
+        self.churn_lost_injections += 1
+
+    def record_reciprocity_refusal(self) -> None:
+        """An encounter refused by the tit-for-tat reciprocity gate."""
+        self.reciprocity_refusals += 1
+
+    def record_rejoin_recovery(self, seconds: float) -> None:
+        """A rejoined node completed its first post-rejoin encounter."""
+        self.rejoin_recovery_seconds += seconds
+        self.rejoin_recoveries += 1
+
+    def finalize_churn(
+        self,
+        node_seconds_online: float,
+        departed: frozenset,
+        scores: Mapping[str, float],
+    ) -> None:
+        """Stamp end-of-run lifecycle aggregates onto the collector.
+
+        ``lost_to_departure`` counts injected-but-undelivered messages
+        whose destination node left for good — deliveries churn has
+        taken off the table, as opposed to ones merely still in flight.
+        """
+        self.node_seconds_online = node_seconds_online
+        self.lost_to_departure = sum(
+            1
+            for record in self.records.values()
+            if not record.delivered and record.destination in departed
+        )
+        self.reciprocity_scores = dict(sorted(scores.items()))
 
     def record_memory(self) -> None:
         """Stamp current peak memory usage onto this collector (opt-in).
@@ -414,11 +503,17 @@ class MetricsCollector:
         )
         return collector
 
-    def summary(self) -> Dict[str, float]:
-        """Headline numbers for reports and experiment assertions."""
+    def summary(self) -> Dict[str, Any]:
+        """Headline numbers for reports and experiment assertions.
+
+        Churning runs (``churn_armed``) append a lifecycle block —
+        availability, losses to departure, rejoin recovery latency, and
+        the per-node ``reciprocity_scores`` map; churn-free summaries
+        are unchanged.
+        """
         mean_delay_hours = self.mean_delay_hours()
         max_delay = self.max_delay()
-        return {
+        summary: Dict[str, Any] = {
             "injected": float(self.injected),
             "delivered": float(self.delivered),
             "delivery_ratio": self.delivery_ratio,
@@ -476,3 +571,28 @@ class MetricsCollector:
             "peak_rss_bytes": float(self.peak_rss_bytes),
             "tracemalloc_peak_bytes": float(self.tracemalloc_peak_bytes),
         }
+        if self.churn_armed:
+            summary["churn_arrivals"] = float(self.churn_arrivals)
+            summary["churn_leaves"] = float(self.churn_leaves)
+            summary["churn_crashes"] = float(self.churn_crashes)
+            summary["churn_rejoins"] = float(self.churn_rejoins)
+            summary["churn_amnesiac_rejoins"] = float(
+                self.churn_amnesiac_rejoins
+            )
+            summary["churn_handoffs"] = float(self.churn_handoffs)
+            summary["churn_skipped_encounters"] = float(
+                self.churn_skipped_encounters
+            )
+            summary["churn_lost_injections"] = float(
+                self.churn_lost_injections
+            )
+            summary["reciprocity_refusals"] = float(self.reciprocity_refusals)
+            summary["node_hours_online"] = self.node_seconds_online / HOURS
+            summary["lost_to_departure"] = float(self.lost_to_departure)
+            summary["mean_rejoin_recovery_hours"] = (
+                self.rejoin_recovery_seconds / self.rejoin_recoveries / HOURS
+                if self.rejoin_recoveries
+                else float("nan")
+            )
+            summary["reciprocity_scores"] = dict(self.reciprocity_scores)
+        return summary

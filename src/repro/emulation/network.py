@@ -80,6 +80,8 @@ class Emulator:
         faults: Optional[FaultConfig] = None,
         fault_seed: int = 0,
         digest: Optional[DigestConfig] = None,
+        churn: Optional["ChurnConfig"] = None,
+        churn_schedule: Optional["ChurnSchedule"] = None,
     ) -> None:
         """Realism knobs beyond the paper's Figure 9/10 limits:
 
@@ -108,6 +110,13 @@ class Emulator:
           duplicate), and the suppressed item is re-offered at a later
           contact under a fresh salt — suppression is retried, never
           lost.
+        * ``churn`` arms the :mod:`repro.churn` lifecycle model: late
+          arrivals, graceful leaves with a final handoff sync, abrupt
+          crashes with checkpoint or amnesiac rejoin, free-riding
+          behaviours, and reciprocity-gated encounter admission. The
+          schedule is derived from ``(churn, trace)`` alone (pass
+          ``churn_schedule`` to reuse an already-derived one); arming
+          churn consumes none of the base experiment's random draws.
         """
         if not 0.0 <= sync_failure_probability <= 1.0:
             raise ValueError("sync_failure_probability must be in [0, 1]")
@@ -126,7 +135,34 @@ class Emulator:
         self.engine = SimulationEngine()
         self._rng = random.Random(seed)
         self._user_location: Dict[str, str] = {}
+        self._current_day_map: Mapping[str, FrozenSet[str]] = {}
         self._skipped_injections: list[Injection] = []
+        # Churn wiring (imported lazily: repro.emulation.__init__ pulls
+        # this module in, and repro.churn imports emulation submodules —
+        # a top-level import here would close that cycle mid-init).
+        self.churn = churn if churn is not None and churn.enabled else None
+        self.churn_schedule = None
+        self.lifecycle = None
+        self.reciprocity = None
+        if self.churn is not None:
+            from repro.churn.lifecycle import LifecycleTracker
+            from repro.churn.schedule import generate_churn_schedule
+            from repro.churn.trust import ReciprocityLedger
+
+            self.churn_schedule = (
+                churn_schedule
+                if churn_schedule is not None
+                else generate_churn_schedule(self.churn, trace)
+            )
+            self.lifecycle = LifecycleTracker(
+                sorted(self.nodes), self.churn_schedule
+            )
+            self.reciprocity = ReciprocityLedger(
+                sorted(self.nodes),
+                threshold=self.churn.reciprocity_threshold,
+                min_taken=self.churn.reciprocity_min_taken,
+            )
+            self.metrics.arm_churn()
         self.fault_injector: Optional[FaultInjector] = (
             FaultInjector(faults, seed=fault_seed)
             if faults is not None and faults.enabled
@@ -173,11 +209,20 @@ class Emulator:
 
     def _apply_assignment(self, day: int) -> None:
         day_map = self.assignments.get(day, {})
+        self._current_day_map = day_map
         for name, node in self.nodes.items():
+            if self.lifecycle is not None and not self.lifecycle.online(name):
+                # Offline nodes keep their crash-time filter: their next
+                # restart restores exactly the persisted state, and the
+                # current day map is re-applied at rejoin time.
+                continue
             users = frozenset(day_map.get(name, frozenset()))
             node.assign_addresses(users)
         self._user_location = {
-            user: name for name, users in day_map.items() for user in users
+            user: name
+            for name, users in day_map.items()
+            for user in users
+            if self.lifecycle is None or self.lifecycle.online(name)
         }
 
     def _inject(self, injection: Injection) -> None:
@@ -191,6 +236,12 @@ class Emulator:
             # The sender's user is not riding any bus right now; the
             # workload layer avoids this, but record rather than crash.
             self._skipped_injections.append(injection)
+            return
+        if self.lifecycle is not None and not self.lifecycle.online(node_name):
+            # The sending node is down: the message is never born (its
+            # app is not running), which is a real churn cost — counted,
+            # not silently dropped.
+            self.metrics.record_churn_lost_injection()
             return
         node = self.nodes[node_name]
         message = node.send(
@@ -235,6 +286,20 @@ class Emulator:
         ):
             self.failed_encounters += 1
             return
+        # Churn gating comes *after* the base draws above: the coin and
+        # failure draw are consumed for every trace encounter in both
+        # execution modes (the swarm pre-draws them in schedule order),
+        # so skipping an encounter must not skip its draws.
+        if self.lifecycle is not None:
+            a_online = self.lifecycle.online(encounter.a)
+            b_online = self.lifecycle.online(encounter.b)
+            if not (a_online and b_online):
+                self.metrics.record_churn_skip()
+                return
+            assert self.reciprocity is not None
+            if not self.reciprocity.admit(encounter.a, encounter.b):
+                self.metrics.record_reciprocity_refusal()
+                return
         injector = self.fault_injector
         now = self.engine.now
         if injector is not None:
@@ -244,7 +309,7 @@ class Emulator:
             if not self._peers_willing(encounter.a, encounter.b, now):
                 self.metrics.record_quarantine_skip()
                 return
-            if injector.should_drop_encounter():
+            if injector.should_drop_encounter(encounter.a, encounter.b):
                 self.failed_encounters += 1
                 self.metrics.record_dropped_encounter()
                 return
@@ -283,6 +348,7 @@ class Emulator:
                     f"version vector of {name!r} regressed during an encounter"
                 )
         self.metrics.record_encounter()
+        self._observe_syncs(encounter.a, encounter.b, stats, now)
         if injector is not None:
             interrupted = any(sync_stats.interrupted for sync_stats in stats)
             resumed = injector.note_encounter_outcome(
@@ -296,6 +362,75 @@ class Emulator:
             self._record_peer_outcomes(encounter, stats, now)
             for victim in injector.crash_victims((encounter.a, encounter.b)):
                 self.restart_node(victim)
+
+    def _observe_syncs(self, a: str, b: str, stats, now: float) -> None:
+        """Feed one completed encounter into the churn bookkeeping."""
+        if self.lifecycle is None:
+            return
+        self.lifecycle.note_encounter(a, b, now, self.metrics)
+        assert self.reciprocity is not None
+        for sync_stats in stats:
+            self.reciprocity.observe_sync(
+                sync_stats.source.name, sync_stats.target.name,
+                sync_stats.sent_total,
+            )
+
+    def _apply_lifecycle(self, event) -> None:
+        """Apply one scheduled lifecycle event (arrive/leave/crash/rejoin)."""
+        assert self.lifecycle is not None
+        now = self.engine.now
+        name = event.node
+        node = self.nodes[name]
+        if event.kind == "leave" and event.partner is not None:
+            # The graceful leaver's final handoff sync, run while both
+            # sides are still up (the schedule guarantees the partner's
+            # availability) — deliberate, so it bypasses the fault and
+            # reciprocity gates and has fixed roles: leaver first.
+            self._run_handoff(name, event.partner, now)
+        if event.kind in ("leave", "crash"):
+            for user in node.assigned_addresses:
+                if self._user_location.get(user) == name:
+                    del self._user_location[user]
+        if event.kind == "rejoin":
+            if event.amnesiac:
+                node.amnesiac_restart()
+            else:
+                # The node object was frozen in place at crash time, so
+                # a crash_restart *now* is exactly a reboot from the
+                # checkpoint it would have written back then.
+                node.crash_restart()
+            self._wire_node(node)
+        self.lifecycle.apply(event, now, self.metrics)
+        if event.kind in ("arrive", "rejoin"):
+            users = frozenset(self._current_day_map.get(name, frozenset()))
+            node.assign_addresses(users)
+            for user in users:
+                self._user_location[user] = name
+
+    def _run_handoff(self, leaver: str, partner: str, now: float) -> None:
+        """Two syncs between the leaver and its handoff partner."""
+        first = self.nodes[leaver]
+        second = self.nodes[partner]
+        before = {
+            name: self.nodes[name].replica.knowledge.copy()
+            for name in (leaver, partner)
+        }
+        stats = EncounterSession(
+            first=first.endpoint,
+            second=second.endpoint,
+            now=now,
+            config=SessionConfig(max_items=None, digest=self.digest),
+        ).run()
+        for name, old in before.items():
+            if not self.nodes[name].replica.knowledge.dominates(old):
+                raise SyncProtocolError(
+                    f"version vector of {name!r} regressed during a handoff"
+                )
+        self.metrics.record_encounter()
+        self.metrics.record_churn_handoff()
+        self._observe_syncs(leaver, partner, stats, now)
+        for sync_stats in stats:
+            self.metrics.record_sync(sync_stats)
 
     def _peers_willing(self, a: str, b: str, now: float) -> bool:
         """Do both participants accept the encounter right now?
@@ -385,6 +520,13 @@ class Emulator:
                 lambda _day=day: self._apply_assignment(_day),
                 EventPriority.CONTROL,
             )
+        if self.churn_schedule is not None:
+            for event in self.churn_schedule.events:
+                self.engine.schedule(
+                    event.time,
+                    lambda _event=event: self._apply_lifecycle(_event),
+                    EventPriority.CONTROL,
+                )
         for injection in self.injections:
             self.engine.schedule(
                 injection.time,
@@ -411,3 +553,11 @@ class Emulator:
         self.metrics.end_time = self.engine.now
         for record in self.metrics.records.values():
             record.copies_at_end = self.count_copies(record.message_id)
+        if self.lifecycle is not None:
+            assert self.reciprocity is not None
+            node_seconds = self.lifecycle.finalize(self.engine.now)
+            self.metrics.finalize_churn(
+                node_seconds,
+                self.lifecycle.departed,
+                self.reciprocity.scores(),
+            )

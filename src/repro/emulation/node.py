@@ -21,13 +21,17 @@ bus that already carries their mail" case.
 from __future__ import annotations
 
 import json
-from typing import FrozenSet, Iterable, Optional
+from typing import Callable, FrozenSet, Iterable, Optional
 
 from repro.dtn.policy import DTNPolicy
 from repro.messaging.app import MessagingApp
 from repro.replication.filters import MultiAddressFilter
 from repro.replication.ids import ReplicaId
-from repro.replication.persistence import replica_from_state, replica_to_state
+from repro.replication.persistence import (
+    amnesiac_replica_state,
+    replica_from_state,
+    replica_to_state,
+)
 from repro.replication.replica import Replica
 from repro.replication.sync import SyncEndpoint
 
@@ -43,11 +47,17 @@ class EmulatedNode:
         relay_eviction: object = "fifo",
         static_relay_addresses: Iterable[str] = (),
         delete_on_receipt: bool = False,
+        policy_factory: Optional[Callable[[], DTNPolicy]] = None,
     ) -> None:
         self.name = name
         self._assigned_addresses: FrozenSet[str] = frozenset()
         self._static_relay: FrozenSet[str] = frozenset(static_relay_addresses)
         self.delete_on_receipt = delete_on_receipt
+        #: How to build a pristine policy instance for an amnesiac
+        #: restart (the old instance's routing state is exactly what an
+        #: amnesia event is supposed to destroy). Optional: nodes in
+        #: churn-free runs never need one.
+        self.policy_factory = policy_factory
         self.replica = Replica(
             ReplicaId(name),
             self._build_filter(),
@@ -125,6 +135,34 @@ class EmulatedNode:
             self.replica, self.addresses, delete_on_receipt=self.delete_on_receipt
         )
         self.app.restore_delivery_log(delivery_log)
+        self.endpoint = SyncEndpoint(self.replica, self.policy)
+        return self
+
+    def amnesiac_restart(self) -> "EmulatedNode":
+        """Reboot after losing all local state except identity.
+
+        The replica comes back with empty stores and knowledge but the
+        *preserved* id-factory counters (see
+        :func:`~repro.replication.persistence.amnesiac_replica_state` —
+        reusing serials would collide with still-circulating copies of
+        forgotten items). The routing policy is rebuilt from scratch via
+        ``policy_factory`` and the messaging app restarts with an empty
+        delivery log: previously delivered messages will be announced
+        again if they arrive again, which is what losing the log means.
+        """
+        if self.policy_factory is None:
+            raise ValueError(
+                f"node {self.name!r} has no policy_factory; an amnesiac "
+                "restart needs one to rebuild its routing policy"
+            )
+        state = json.loads(
+            json.dumps(amnesiac_replica_state(replica_to_state(self.replica)))
+        )
+        self.replica = replica_from_state(state)
+        self.policy = self.policy_factory().bind(self.replica, self.addresses)
+        self.app = MessagingApp(
+            self.replica, self.addresses, delete_on_receipt=self.delete_on_receipt
+        )
         self.endpoint = SyncEndpoint(self.replica, self.policy)
         return self
 

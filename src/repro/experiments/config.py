@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional
 
 from repro._compat import keyword_only_dataclass
+from repro.churn.config import ChurnConfig
 from repro.faults import FaultConfig
 
 #: Default scale used by the figure benchmarks; override with REPRO_SCALE.
@@ -89,6 +90,12 @@ class ExperimentConfig:
     # to a config predating the fault subsystem. A disabled FaultConfig
     # (all probabilities zero) is also bit-for-bit equivalent to None.
     faults: Optional[FaultConfig] = None
+
+    # Node churn (repro.churn): None = the fixed population of the
+    # paper's evaluation, identical to a config predating the churn
+    # subsystem. A disabled ChurnConfig (all fractions zero) is also
+    # bit-for-bit equivalent to None.
+    churn: Optional[ChurnConfig] = None
 
     # Knowledge-digest mode (docs/protocol.md §8): when armed, targets
     # summarise their knowledge as a Bloom digest whenever it beats the
@@ -164,6 +171,10 @@ class ExperimentConfig:
         """Arm the fault subsystem (knobs are FaultConfig fields)."""
         return replace(self, faults=FaultConfig(**knobs))
 
+    def with_churn(self, **knobs: Any) -> "ExperimentConfig":
+        """Arm the churn subsystem (knobs are ChurnConfig fields)."""
+        return replace(self, churn=ChurnConfig(**knobs))
+
     def label(self) -> str:
         """A short human-readable tag for reports."""
         parts = [self.policy]
@@ -175,6 +186,8 @@ class ExperimentConfig:
             parts.append(f"store={self.storage_limit}")
         if self.faults is not None and self.faults.enabled:
             parts.append("faults")
+        if self.churn is not None and self.churn.enabled:
+            parts.append("churn")
         if self.knowledge_digest:
             parts.append(f"digest@{self.digest_fp_rate:g}")
         if self.engine != "object":
@@ -191,7 +204,11 @@ class ExperimentConfig:
         ``policy_parameters`` values must themselves be JSON-safe (they
         always are for the registered policies — Table II knobs are ints
         and floats). ``faults`` nests a :meth:`FaultConfig.to_dict` block
-        or ``None``.
+        or ``None``. ``churn`` nests a :meth:`ChurnConfig.to_dict` block
+        when set and is *omitted entirely* when None — unlike ``faults``
+        (whose None predates the content-addressed store), an
+        always-present key would silently change the config digest, and
+        therefore the run id, of every previously recorded artifact.
         """
         data: Dict[str, Any] = {}
         for spec in fields(self):
@@ -200,6 +217,10 @@ class ExperimentConfig:
                 value = dict(value)
             elif spec.name == "faults":
                 value = value.to_dict() if value is not None else None
+            elif spec.name == "churn":
+                if value is None:
+                    continue
+                value = value.to_dict()
             data[spec.name] = value
         return data
 
@@ -214,4 +235,7 @@ class ExperimentConfig:
         faults = payload.get("faults")
         if isinstance(faults, Mapping):
             payload["faults"] = FaultConfig.from_dict(faults)
+        churn = payload.get("churn")
+        if isinstance(churn, Mapping):
+            payload["churn"] = ChurnConfig.from_dict(churn)
         return cls(**payload)

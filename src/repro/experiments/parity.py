@@ -162,3 +162,37 @@ def check_convergence_parity(
         )
     )
     return compare_fixed_points(emulator_points, report.fixed_points)
+
+
+def check_churn_parity(
+    config: ExperimentConfig,
+    extra_days: int = 0,
+    transport: str = "unix",
+) -> ParityReport:
+    """Convergence parity for a *churning* scenario.
+
+    Beyond :func:`check_convergence_parity`, this asserts the scenario
+    actually exercises the lifecycle machinery before comparing: churn
+    must be armed, and the derived schedule must contain at least one
+    crash-restart that rejoins from its checkpoint AND at least one
+    amnesiac rejoin — otherwise the gate would pass vacuously on a
+    schedule that never kills a process.
+    """
+    if config.churn is None or not config.churn.enabled:
+        raise ValueError("check_churn_parity needs an armed ChurnConfig")
+    scenario = build_scenario(config)
+    schedule = scenario.churn_schedule
+    assert schedule is not None
+    if not schedule.has_checkpoint_rejoin:
+        raise ValueError(
+            "churn schedule has no checkpoint rejoin; raise crash_fraction "
+            "or lower amnesia_probability so the gate exercises one"
+        )
+    if not schedule.has_amnesiac_rejoin:
+        raise ValueError(
+            "churn schedule has no amnesiac rejoin; raise crash_fraction "
+            "or amnesia_probability so the gate exercises one"
+        )
+    return check_convergence_parity(
+        config, extra_days=extra_days, transport=transport
+    )

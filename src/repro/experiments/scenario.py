@@ -33,6 +33,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.churn import ChurnSchedule, FreeRiderPolicy, generate_churn_schedule
+from repro.dtn.policy import DTNPolicy
 from repro.dtn.registry import get_policy
 from repro.emulation.encounters import EncounterTrace
 from repro.emulation.network import Emulator, Injection
@@ -57,6 +59,11 @@ class Scenario:
     injections: List[Injection]
     nodes: Dict[str, EmulatedNode]
     emulator: Emulator
+    #: Lifecycle schedule when churn is armed, else None. Generated here
+    #: (not inside the emulator) so the swarm's node servers — which each
+    #: rebuild the scenario from the shared config — agree on the exact
+    #: same arrivals/crashes/rejoins as the orchestrator.
+    churn_schedule: Optional[ChurnSchedule] = None
 
 
 def expected_user_meetings(
@@ -120,6 +127,31 @@ def _user_relay_addresses(
     return frozenset(ranked[:k])
 
 
+def _policy_factory(config: ExperimentConfig, free_rider: bool):
+    """A zero-argument builder for one node's routing policy.
+
+    Used both to construct the node's initial policy and — stored on the
+    node — to rebuild a pristine instance after an amnesiac restart.
+    Free riders get their configured policy wrapped in a
+    :class:`~repro.churn.FreeRiderPolicy`, so the selfish behaviour
+    survives restarts too (it is who the node *is*, not soft state).
+    """
+
+    def build() -> DTNPolicy:
+        policy = get_policy(config.policy, **config.policy_parameters)
+        if free_rider:
+            churn = config.churn
+            assert churn is not None  # free riders only exist with churn armed
+            policy = FreeRiderPolicy(
+                policy,
+                mode=churn.free_rider_mode,
+                budget=churn.free_rider_budget,
+            )
+        return policy
+
+    return build
+
+
 def build_scenario(
     config: ExperimentConfig,
     trace: Optional[EncounterTrace] = None,
@@ -152,6 +184,18 @@ def build_scenario(
         ),
     )
 
+    churn = (
+        config.churn
+        if config.churn is not None and config.churn.enabled
+        else None
+    )
+    churn_schedule = (
+        generate_churn_schedule(churn, trace) if churn is not None else None
+    )
+    free_riders = (
+        churn_schedule.free_riders if churn_schedule is not None else frozenset()
+    )
+
     filter_rng = random.Random(config.filter_seed)
     nodes: Dict[str, EmulatedNode] = {}
     for host in sorted(trace.hosts):
@@ -163,16 +207,18 @@ def build_scenario(
             relay = _user_relay_addresses(
                 host, config, trace, assignments, users, filter_rng
             )
+        # The registry (via the factory) is the single supported
+        # construction path — direct policy-class instantiation here
+        # would skip the Table II defaults.
+        factory = _policy_factory(config, host in free_riders)
         nodes[host] = EmulatedNode(
             name=host,
-            # The registry is the single supported construction path —
-            # direct policy-class instantiation here would skip the
-            # Table II defaults.
-            policy=get_policy(config.policy, **config.policy_parameters),
+            policy=factory(),
             relay_capacity=config.storage_limit,
             relay_eviction=config.eviction_strategy,
             static_relay_addresses=relay,
             delete_on_receipt=config.delete_on_receipt,
+            policy_factory=factory,
         )
 
     emulator = Emulator(
@@ -191,6 +237,8 @@ def build_scenario(
             if config.knowledge_digest
             else None
         ),
+        churn=churn,
+        churn_schedule=churn_schedule,
     )
     return Scenario(
         config=config,
@@ -200,4 +248,5 @@ def build_scenario(
         injections=injections,
         nodes=nodes,
         emulator=emulator,
+        churn_schedule=churn_schedule,
     )

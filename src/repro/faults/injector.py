@@ -21,6 +21,7 @@ Decision points, in the order the emulation consults them per encounter:
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -134,7 +135,10 @@ class FaultInjector:
 
     def __init__(self, config: FaultConfig, seed: int = 0) -> None:
         self.config = config
+        self.seed = seed
         self.rng = random.Random(seed)
+        self._per_link = getattr(config, "rng_streams", "shared") == "per-link"
+        self._link_rngs: Dict[Pair, random.Random] = {}
         self.counters = FaultCounters()
         self.tracker = ResumeTracker(
             base=config.retry_backoff_base,
@@ -191,6 +195,33 @@ class FaultInjector:
         #: actually carried.
         self._replay_pools: Dict[Tuple[str, str], List[object]] = {}
 
+    # -- rng organisation ----------------------------------------------------------
+
+    def rng_for(
+        self, a: Optional[str] = None, b: Optional[str] = None
+    ) -> random.Random:
+        """The stream a fault decision about the (a, b) link draws from.
+
+        In "shared" mode (the default, byte-compatible with every run
+        recorded before the knob existed) this is always the one global
+        stream. In "per-link" mode each order-normalised host pair gets
+        its own child stream, seeded from (injector seed, pair name) — so
+        any partition of the pairs across processes makes exactly the
+        draws a single-process run would, which is what lets sharded
+        columnar runs arm transport faults.
+        """
+        if not self._per_link or a is None or b is None:
+            return self.rng
+        pair = pair_key(a, b)
+        rng = self._link_rngs.get(pair)
+        if rng is None:
+            child_seed = (self.seed << 32) ^ zlib.crc32(
+                f"{pair[0]}|{pair[1]}".encode("utf-8")
+            )
+            rng = random.Random(child_seed)
+            self._link_rngs[pair] = rng
+        return rng
+
     # -- per-encounter decision points --------------------------------------------
 
     def encounter_allowed(self, a: str, b: str, now: float) -> bool:
@@ -200,8 +231,10 @@ class FaultInjector:
         self.counters.backoff_skips += 1
         return False
 
-    def should_drop_encounter(self) -> bool:
-        if self._drop is not None and self._drop.should_drop(self.rng):
+    def should_drop_encounter(
+        self, a: Optional[str] = None, b: Optional[str] = None
+    ) -> bool:
+        if self._drop is not None and self._drop.should_drop(self.rng_for(a, b)):
             self.counters.dropped_encounters += 1
             return True
         return False
@@ -233,7 +266,7 @@ class FaultInjector:
         if self._replay is not None and source is not None and target is not None:
             pool = self._replay_pools.setdefault((source, target), [])
         return FaultyTransport(
-            self.rng,
+            self.rng_for(source, target),
             truncation=self._truncation,
             duplication=self._duplication,
             corruption=self._corruption,

@@ -35,9 +35,11 @@ class ScheduleStep:
     """One timed directive in a swarm replay.
 
     ``kind`` is ``assign`` (payload: ``{node: [users]}``), ``inject``
-    (payload: source/destination/body), or ``encounter`` (``first`` is
+    (payload: source/destination/body), ``encounter`` (``first`` is
     the coordinator and the first sync's *source*; ``budget`` the
-    per-encounter item cap, None for unlimited).
+    per-encounter item cap, None for unlimited), or ``lifecycle``
+    (payload: the churn event's kind/node/partner/amnesiac — the
+    orchestrator kills, restarts, or hands off the named replica).
     """
 
     time: float
@@ -83,6 +85,29 @@ def build_schedule(
             )
         )
         sequence += 1
+    churn_schedule = scenario.churn_schedule
+    if churn_schedule is not None:
+        # Same band and relative order as Emulator.schedule_all: lifecycle
+        # events ride the CONTROL band, queued after the day assignments.
+        for event in churn_schedule.events:
+            raw.append(
+                (
+                    event.time,
+                    int(EventPriority.CONTROL),
+                    sequence,
+                    ScheduleStep(
+                        time=event.time,
+                        kind="lifecycle",
+                        payload={
+                            "kind": event.kind,
+                            "node": event.node,
+                            "partner": event.partner,
+                            "amnesiac": event.amnesiac,
+                        },
+                    ),
+                )
+            )
+            sequence += 1
     for injection in scenario.injections:
         raw.append(
             (

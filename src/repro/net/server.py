@@ -30,6 +30,7 @@ Protocol framing and the message sequence are specified in
 from __future__ import annotations
 
 import asyncio
+import json
 import pathlib
 import signal
 from dataclasses import dataclass
@@ -42,6 +43,7 @@ from repro.experiments.report import run_summary_document
 from repro.experiments.scenario import build_scenario
 from repro.messaging.app import MessagingApp
 from repro.replication.codec import (
+    CodecError,
     decode_batch_frame,
     decode_sync_request,
     encode_batch_frame,
@@ -51,6 +53,7 @@ from repro.replication.codec import (
 from repro.replication.digest import DigestConfig
 from repro.replication.errors import SyncProtocolError
 from repro.replication.events import BaseReplicaObserver
+from repro.replication.filters import MultiAddressFilter
 from repro.replication.ids import ReplicaId
 from repro.replication.items import Item
 from repro.replication.persistence import load_replica, save_replica
@@ -79,6 +82,11 @@ class ServeConfig:
     experiment: ExperimentConfig
     state_dir: Optional[str] = None
     read_timeout: float = DEFAULT_READ_TIMEOUT
+    #: Rejoin after losing everything but identity: ignore the stores,
+    #: knowledge, and policy state in any on-disk checkpoint and restore
+    #: only the id-factory counters (see
+    #: :func:`~repro.replication.persistence.amnesiac_replica_state`).
+    amnesiac: bool = False
 
     def __post_init__(self) -> None:
         if not self.node:
@@ -98,6 +106,7 @@ class ServeConfig:
             "experiment": self.experiment.to_dict(),
             "state_dir": self.state_dir,
             "read_timeout": self.read_timeout,
+            "amnesiac": self.amnesiac,
         }
 
     @classmethod
@@ -108,6 +117,7 @@ class ServeConfig:
             experiment=ExperimentConfig.from_dict(data["experiment"]),
             state_dir=data.get("state_dir"),
             read_timeout=data.get("read_timeout", DEFAULT_READ_TIMEOUT),
+            amnesiac=bool(data.get("amnesiac", False)),
         )
 
 
@@ -162,6 +172,27 @@ class NodeServer:
         path = self.checkpoint_path
         if path is None or not path.exists():
             return
+        if self.config.amnesiac:
+            # An amnesiac rejoin boots from the scenario-fresh replica the
+            # constructor just built (empty stores/knowledge, pristine
+            # policy) and salvages only the id-factory counters — reusing
+            # version serials after forgetting the items they named would
+            # collide with still-circulating copies. This matches
+            # EmulatedNode.amnesiac_restart: the emulator's filter is
+            # likewise re-derived from the current assignment, not the
+            # checkpoint.
+            document = json.loads(path.read_text())
+            try:
+                replica_state = document["replica_state"]
+            except (TypeError, KeyError):
+                raise CodecError(f"not a replica checkpoint: {path}") from None
+            if replica_state.get("replica") != self.name:
+                raise ValueError(
+                    f"checkpoint {path} belongs to "
+                    f"{replica_state.get('replica')!r}, not {self.name!r}"
+                )
+            self.node.replica._ids.restore(replica_state["ids"])
+            return
         replica, policy_state = load_replica(path)
         if replica.replica_id.name != self.name:
             raise ValueError(
@@ -170,6 +201,16 @@ class NodeServer:
             )
         node = self.node
         node.replica = replica
+        # Re-derive the in-memory assigned-user set from the restored
+        # filter so a later ``assign`` directive sees the same
+        # no-op/rebuild decisions the emulator's long-lived node object
+        # would (its assigned set survives a simulated crash in memory,
+        # matching the checkpoint's filter exactly).
+        restored_filter = replica.filter
+        if isinstance(restored_filter, MultiAddressFilter):
+            node._assigned_addresses = (
+                restored_filter.relay_addresses - node.static_relay_addresses
+            )
         node.policy.bind(node.replica, node.addresses)
         if policy_state is not None:
             node.policy.restore_state(policy_state)
@@ -332,6 +373,24 @@ class NodeServer:
                 "message_id": encode_item_id(sent.message_id),
                 "deliveries": self._drain_deliveries(),
             }
+        if kind == "checkpoint":
+            # Persist without stopping: the orchestrator images a node's
+            # durable state the instant before it kills the process, which
+            # is what "only what reached disk survives the crash" means
+            # for a continuously-checkpointing replica.
+            path = self.checkpoint_path
+            if path is None:
+                return {
+                    "type": "error",
+                    "error": "no state_dir configured; cannot checkpoint",
+                }
+            path.parent.mkdir(parents=True, exist_ok=True)
+            save_replica(
+                self.node.replica,
+                path,
+                policy_state=self.node.policy.persistent_state(),
+            )
+            return {"type": "checkpoint-ok", "checkpoint": str(path)}
         if kind == "snapshot":
             return {
                 "type": "snapshot-ok",

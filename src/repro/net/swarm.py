@@ -40,12 +40,15 @@ from typing import Any, Dict, List, Mapping, Optional
 
 import repro
 from repro._compat import keyword_only_dataclass
+from repro.churn import LifecycleEvent, LifecycleTracker, ReciprocityLedger
 from repro.emulation.metrics import MetricsCollector
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parity import replica_fixed_point
 from repro.experiments.report import run_summary_document
 from repro.experiments.scenario import build_scenario
 from repro.experiments.store import canonical_json, run_id_for
 from repro.replication.codec import decode_item_id
+from repro.replication.persistence import load_replica
 from repro.replication.sync import SyncStats
 
 from .connection import (
@@ -156,6 +159,26 @@ class _Swarm:
         self.metrics = MetricsCollector()
         self.skipped_injections = 0
         self._user_location: Dict[str, str] = {}
+        self._current_day_map: Mapping[str, List[str]] = {}
+        # Churn: the orchestrator runs the *same* lifecycle/reciprocity
+        # trackers the emulator does, against the schedule the scenario
+        # derived — so encounter gating, lost injections, and reciprocity
+        # admission are identical by construction, while the processes
+        # underneath are genuinely killed and respawned.
+        self.churn_schedule = self.scenario.churn_schedule
+        self.lifecycle: Optional[LifecycleTracker] = None
+        self.reciprocity: Optional[ReciprocityLedger] = None
+        if self.churn_schedule is not None:
+            churn = self.scenario.config.churn
+            assert churn is not None
+            names = sorted(self.scenario.nodes)
+            self.lifecycle = LifecycleTracker(names, self.churn_schedule)
+            self.reciprocity = ReciprocityLedger(
+                names,
+                threshold=churn.reciprocity_threshold,
+                min_taken=churn.reciprocity_min_taken,
+            )
+            self.metrics.arm_churn()
         self._owns_runtime_dir = config.runtime_dir is None
         # Unix socket paths must stay short (the kernel caps sun_path at
         # ~100 bytes), hence a fresh short tempdir rather than anything
@@ -175,80 +198,109 @@ class _Swarm:
 
     async def start(self) -> None:
         self.runtime_dir.mkdir(parents=True, exist_ok=True)
-        config_path = self.runtime_dir / "experiment.json"
-        config_path.write_text(
+        self._config_path = self.runtime_dir / "experiment.json"
+        self._config_path.write_text(
             json.dumps(self.config.experiment.to_dict(), indent=2)
         )
-        state_dir = self.runtime_dir / "state"
-        env = dict(os.environ)
+        self._state_dir = self.runtime_dir / "state"
+        self._env = dict(os.environ)
         package_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = (
+        existing = self._env.get("PYTHONPATH")
+        self._env["PYTHONPATH"] = (
             package_root if not existing
             else package_root + os.pathsep + existing
         )
         for node in self.nodes.values():
-            node.process = await asyncio.create_subprocess_exec(
-                sys.executable,
-                "-m",
-                "repro",
-                "serve",
-                "--config",
-                str(config_path),
-                "--node",
-                node.name,
-                "--listen",
-                node.address,
-                "--state-dir",
-                str(state_dir),
-                env=env,
-            )
+            await self._spawn(node)
         await self._connect_all()
 
+    async def _spawn(self, node: _Node, amnesiac: bool = False) -> None:
+        argv = [
+            "-m",
+            "repro",
+            "serve",
+            "--config",
+            str(self._config_path),
+            "--node",
+            node.name,
+            "--listen",
+            node.address,
+            "--state-dir",
+            str(self._state_dir),
+        ]
+        if amnesiac:
+            argv.append("--amnesiac")
+        if node.address.startswith("unix:"):
+            # A killed process leaves its socket file behind; the respawn
+            # must bind the same path.
+            pathlib.Path(node.address[len("unix:"):]).unlink(missing_ok=True)
+        node.process = await asyncio.create_subprocess_exec(
+            sys.executable, *argv, env=self._env
+        )
+
     async def _connect_all(self) -> None:
-        # The dialer drives redial pacing through the peer-health state
-        # machine; generous attempts because N interpreters are cold-
-        # starting concurrently.
         deadline = (
             asyncio.get_running_loop().time() + self.config.startup_timeout
         )
         for node in self.nodes.values():
-            dialer = ReconnectDialer(
-                max_attempts=200, read_timeout=self.config.read_timeout
+            await self._connect(node, deadline)
+
+    async def _connect(
+        self, node: _Node, deadline: Optional[float] = None
+    ) -> None:
+        # The dialer drives redial pacing through the peer-health state
+        # machine; generous attempts because N interpreters are cold-
+        # starting concurrently.
+        if deadline is None:
+            deadline = (
+                asyncio.get_running_loop().time()
+                + self.config.startup_timeout
             )
-            while True:
-                if node.process is not None and node.process.returncode is not None:
-                    raise RuntimeError(
-                        f"serve process for {node.name!r} exited with "
-                        f"{node.process.returncode} during startup"
-                    )
-                try:
-                    node.control = await dialer.dial(node.name, node.address)
-                    break
-                except (ConnectionError, OSError):
-                    if asyncio.get_running_loop().time() > deadline:
-                        raise RuntimeError(
-                            f"could not reach {node.name!r} at "
-                            f"{node.address} within "
-                            f"{self.config.startup_timeout:.0f}s"
-                        )
-            await node.control.send(
-                {
-                    "type": "hello",
-                    "node": "orchestrator",
-                    "protocol": PROTOCOL_VERSION,
-                }
-            )
-            hello = await node.control.receive()
-            if hello.get("type") != "hello" or hello.get("node") != node.name:
+        dialer = ReconnectDialer(
+            max_attempts=200, read_timeout=self.config.read_timeout
+        )
+        while True:
+            if node.process is not None and node.process.returncode is not None:
                 raise RuntimeError(
-                    f"unexpected greeting from {node.name!r}: {hello!r}"
+                    f"serve process for {node.name!r} exited with "
+                    f"{node.process.returncode} during startup"
                 )
+            try:
+                node.control = await dialer.dial(node.name, node.address)
+                break
+            except (ConnectionError, OSError):
+                if asyncio.get_running_loop().time() > deadline:
+                    raise RuntimeError(
+                        f"could not reach {node.name!r} at "
+                        f"{node.address} within "
+                        f"{self.config.startup_timeout:.0f}s"
+                    )
+        await node.control.send(
+            {
+                "type": "hello",
+                "node": "orchestrator",
+                "protocol": PROTOCOL_VERSION,
+            }
+        )
+        hello = await node.control.receive()
+        if hello.get("type") != "hello" or hello.get("node") != node.name:
+            raise RuntimeError(
+                f"unexpected greeting from {node.name!r}: {hello!r}"
+            )
 
     async def stop(self, persist: bool = True) -> Dict[str, Optional[str]]:
         checkpoints: Dict[str, Optional[str]] = {}
         for node in self.nodes.values():
-            if node.control is not None:
+            if node.control is None:
+                # Departed mid-run: its checkpoint (if any) was written
+                # on the way down.
+                path = getattr(self, "_state_dir", None)
+                if path is not None:
+                    candidate = path / f"{node.name}.json"
+                    checkpoints[node.name] = (
+                        str(candidate) if candidate.exists() else None
+                    )
+            elif node.control is not None:
                 try:
                     await node.control.send(
                         {"type": "shutdown", "persist": persist}
@@ -319,12 +371,34 @@ class _Swarm:
                 None,
             )
 
+    def _online(self, name: str) -> bool:
+        return self.lifecycle is None or self.lifecycle.online(name)
+
+    def _observe_syncs(
+        self, a: str, b: str, stats: List[SyncStats], now: float
+    ) -> None:
+        """Feed one completed encounter into the churn bookkeeping."""
+        if self.lifecycle is None:
+            return
+        self.lifecycle.note_encounter(a, b, now, self.metrics)
+        assert self.reciprocity is not None
+        for sync_stats in stats:
+            self.reciprocity.observe_sync(
+                sync_stats.source.name, sync_stats.target.name,
+                sync_stats.sent_total,
+            )
+
     async def _replay_step(self, step: ScheduleStep) -> None:
         if step.kind == "assign":
             day_map = step.payload["addresses"]
-            # Mirror Emulator._apply_assignment: every node gets its (or
-            # an empty) user set, and the user->node view is rebuilt.
+            self._current_day_map = day_map
+            # Mirror Emulator._apply_assignment: every *online* node gets
+            # its (or an empty) user set, offline nodes keep their
+            # crash-time filter until rejoin, and the user->node view is
+            # rebuilt over online nodes only.
             for name, node in self.nodes.items():
+                if not self._online(name):
+                    continue
                 reply = await self._command(
                     node,
                     {
@@ -339,6 +413,7 @@ class _Swarm:
                 user: name
                 for name, users in day_map.items()
                 for user in users
+                if self._online(name)
             }
         elif step.kind == "inject":
             source = step.payload["source"]
@@ -348,6 +423,11 @@ class _Swarm:
                 node_name = self._user_location.get(source)
             if node_name is None:
                 self.skipped_injections += 1
+                return
+            if not self._online(node_name):
+                # Mirror Emulator._inject: the sending node is down, the
+                # message is never born — a counted churn cost.
+                self.metrics.record_churn_lost_injection()
                 return
             node = self.nodes[node_name]
             reply = await self._command(
@@ -371,6 +451,18 @@ class _Swarm:
             self._record_deliveries(reply.get("deliveries"))
         elif step.kind == "encounter":
             assert step.first is not None and step.second is not None
+            if self.lifecycle is not None:
+                # Same gate order as Emulator._run_encounter (the role
+                # coin was already consumed when the schedule was built).
+                if not (
+                    self._online(step.first) and self._online(step.second)
+                ):
+                    self.metrics.record_churn_skip()
+                    return
+                assert self.reciprocity is not None
+                if not self.reciprocity.admit(step.first, step.second):
+                    self.metrics.record_reciprocity_refusal()
+                    return
             first = self.nodes[step.first]
             second = self.nodes[step.second]
             reply = await self._command(
@@ -384,12 +476,105 @@ class _Swarm:
                 },
                 "encounter-ok",
             )
+            stats = [SyncStats.from_dict(raw) for raw in reply["syncs"]]
             self.metrics.record_encounter()
-            for stats in reply["syncs"]:
-                self.metrics.record_sync(SyncStats.from_dict(stats))
+            self._observe_syncs(step.first, step.second, stats, step.time)
+            for sync_stats in stats:
+                self.metrics.record_sync(sync_stats)
             self._record_deliveries(reply.get("deliveries"))
+        elif step.kind == "lifecycle":
+            await self._apply_lifecycle(step)
         else:
             raise ValueError(f"unknown schedule step kind {step.kind!r}")
+
+    async def _apply_lifecycle(self, step: ScheduleStep) -> None:
+        """Apply one churn event against the real process fleet.
+
+        Mirrors ``Emulator._apply_lifecycle``, except the state
+        transitions are physical: a graceful leaver checkpoints and exits,
+        a crash is an image of durable state followed by SIGKILL, and a
+        rejoin is a fresh ``repro serve`` process booting from (all of,
+        or — amnesiac — only the id counters of) that checkpoint.
+        """
+        assert self.lifecycle is not None
+        payload = step.payload
+        kind = str(payload["kind"])
+        name = str(payload["node"])
+        node = self.nodes[name]
+        now = step.time
+        if kind == "leave" and payload.get("partner"):
+            await self._run_handoff(name, str(payload["partner"]), now)
+        if kind in ("leave", "crash"):
+            for user in self._current_day_map.get(name, []):
+                if self._user_location.get(user) == name:
+                    del self._user_location[user]
+        if kind == "leave":
+            assert node.control is not None
+            await node.control.send({"type": "shutdown", "persist": True})
+            await node.control.receive()  # shutdown-ok (checkpoint path)
+            await node.control.close()
+            node.control = None
+            if node.process is not None:
+                await node.process.wait()
+                node.process = None
+        elif kind == "crash":
+            # Checkpoint-then-SIGKILL is what "only what reached disk
+            # survives" means for a continuously-checkpointing replica;
+            # the emulator's frozen-in-place node is the same state.
+            await self._command(node, {"type": "checkpoint"}, "checkpoint-ok")
+            assert node.control is not None
+            await node.control.close()
+            node.control = None
+            if node.process is not None:
+                node.process.kill()
+                await node.process.wait()
+                node.process = None
+        elif kind == "rejoin":
+            await self._spawn(node, amnesiac=bool(payload.get("amnesiac")))
+            await self._connect(node)
+        self.lifecycle.apply(
+            LifecycleEvent(
+                time=step.time,
+                kind=kind,
+                node=name,
+                partner=payload.get("partner"),
+                amnesiac=bool(payload.get("amnesiac")),
+            ),
+            now,
+            self.metrics,
+        )
+        if kind in ("arrive", "rejoin"):
+            users = list(self._current_day_map.get(name, []))
+            reply = await self._command(
+                node,
+                {"type": "assign", "time": now, "addresses": users},
+                "assign-ok",
+            )
+            self._record_deliveries(reply.get("deliveries"))
+            for user in users:
+                self._user_location[user] = name
+
+    async def _run_handoff(self, leaver: str, partner: str, now: float) -> None:
+        """The graceful leaver's final, unbudgeted sync pair."""
+        second = self.nodes[partner]
+        reply = await self._command(
+            self.nodes[leaver],
+            {
+                "type": "encounter",
+                "time": now,
+                "peer": partner,
+                "address": second.address,
+                "budget": None,
+            },
+            "encounter-ok",
+        )
+        stats = [SyncStats.from_dict(raw) for raw in reply["syncs"]]
+        self.metrics.record_encounter()
+        self.metrics.record_churn_handoff()
+        self._observe_syncs(leaver, partner, stats, now)
+        for sync_stats in stats:
+            self.metrics.record_sync(sync_stats)
+        self._record_deliveries(reply.get("deliveries"))
 
     async def replay(self) -> None:
         for step in self.steps:
@@ -403,8 +588,24 @@ class _Swarm:
         held: Dict[str, set] = {}
         evictions = 0
         for name in sorted(self.nodes):
+            node = self.nodes[name]
+            if node.control is None:
+                # Departed (left or crashed-without-rejoining) node: its
+                # process is gone, so snapshot the checkpoint it wrote on
+                # the way down — exactly the state the emulator's frozen
+                # node holds at end of run. Its eviction counter died
+                # with the process; pre-departure evictions on such
+                # nodes are the one counter the live path undercounts.
+                replica, _ = load_replica(self._state_dir / f"{name}.json")
+                fixed_points[name] = replica_fixed_point(replica)
+                held[name] = {
+                    str(item.item_id)
+                    for item in replica.stored_items()
+                    if not item.deleted
+                }
+                continue
             reply = await self._command(
-                self.nodes[name], {"type": "snapshot"}, "snapshot-ok"
+                node, {"type": "snapshot"}, "snapshot-ok"
             )
             fixed_points[name] = reply["fixed_point"]
             held[name] = set(reply["held"])
@@ -415,6 +616,14 @@ class _Swarm:
             key = str(record.message_id)
             record.copies_at_end = sum(
                 1 for ids in held.values() if key in ids
+            )
+        if self.lifecycle is not None:
+            assert self.reciprocity is not None
+            node_seconds = self.lifecycle.finalize(self.end_time)
+            self.metrics.finalize_churn(
+                node_seconds,
+                self.lifecycle.departed,
+                self.reciprocity.scores(),
             )
         return fixed_points
 
@@ -446,6 +655,7 @@ async def _run_swarm(
             "transport": config.transport,
             "nodes": len(swarm.nodes),
             "skipped_injections": swarm.skipped_injections,
+            "churn": swarm.lifecycle is not None,
         },
     )
     report = SwarmReport(

@@ -109,6 +109,33 @@ def replica_from_state(state: Dict[str, Any]) -> Replica:
     return replica
 
 
+def amnesiac_replica_state(state: Dict[str, Any]) -> Dict[str, Any]:
+    """The state an *amnesiac* restart of ``state``'s replica boots from.
+
+    Everything is lost except identity: the filter configuration (the
+    node still knows who it is and what it subscribes to) and — crucially
+    — the id-factory counters. Reusing version serials after forgetting
+    the items they named would collide with copies of the old items still
+    circulating in the network, so an amnesiac node resumes authoring
+    from its pre-crash counter even though its stores and knowledge come
+    back empty.
+    """
+    if state.get("format") != STATE_FORMAT:
+        raise CodecError(
+            f"unrecognised replica state format: {state.get('format')!r}"
+        )
+    fresh = replica_to_state(
+        Replica(
+            ReplicaId(state["replica"]),
+            decode_filter(state["filter"]),
+            relay_capacity=state.get("relay_capacity"),
+            relay_eviction=state.get("relay_eviction") or "fifo",
+        )
+    )
+    fresh["ids"] = state["ids"]
+    return fresh
+
+
 def save_replica(
     replica: Replica,
     path: Union[str, pathlib.Path],

@@ -476,6 +476,13 @@ def build_batch(
     entries that were actually delivered; callers assembling the protocol
     by hand must do the same once delivery is confirmed.
     """
+    # The policy may tighten (never widen) the platform's cap — the one
+    # choke point through which selfish source behaviours under-serve a
+    # peer, since filter-matching items bypass to_send entirely. Looked
+    # up tolerantly: duck-typed policies predating the hook stay valid.
+    budget_hook = getattr(source.policy, "source_budget", None)
+    if budget_hook is not None:
+        max_items = budget_hook(max_items)
     stats = SyncStats(source=source.replica_id, target=request.target_id)
     source.policy.process_req(request.routing_state, context)
 

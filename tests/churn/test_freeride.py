@@ -1,0 +1,109 @@
+"""FreeRiderPolicy: selfish source budgets over honest routing."""
+
+import pytest
+
+from repro.churn import FreeRiderPolicy
+from repro.dtn import EpidemicPolicy
+from repro.replication import (
+    AddressFilter,
+    Replica,
+    ReplicaId,
+    SyncEndpoint,
+)
+from repro.replication.session import EncounterSession, SyncSession
+
+
+def replica(name):
+    return Replica(ReplicaId(name), AddressFilter(name))
+
+
+def free_rider(mode="receive-only", budget=1):
+    return FreeRiderPolicy(EpidemicPolicy(), mode=mode, budget=budget)
+
+
+class TestConstruction:
+    def test_mode_is_validated(self):
+        with pytest.raises(ValueError, match="mode"):
+            FreeRiderPolicy(EpidemicPolicy(), mode="stingy")
+
+    def test_budget_is_validated(self):
+        with pytest.raises(ValueError, match="budget"):
+            FreeRiderPolicy(EpidemicPolicy(), budget=-1)
+
+
+class TestSourceBudget:
+    def test_receive_only_always_zero(self):
+        policy = free_rider("receive-only")
+        assert policy.source_budget(None) == 0
+        assert policy.source_budget(100) == 0
+
+    def test_budget_lie_caps_every_batch(self):
+        policy = free_rider("budget-lie", budget=2)
+        assert policy.source_budget(None) == 2
+        assert policy.source_budget(100) == 2
+
+    def test_budget_lie_respects_tighter_real_cap(self):
+        policy = free_rider("budget-lie", budget=5)
+        assert policy.source_budget(3) == 3
+
+
+class TestDelegation:
+    def test_bind_binds_the_inner_policy_too(self):
+        inner = EpidemicPolicy()
+        node = replica("selfish")
+        FreeRiderPolicy(inner).bind(node)
+        assert inner.replica is node
+
+    def test_state_round_trips_through_the_inner_policy(self):
+        inner = EpidemicPolicy()
+        policy = FreeRiderPolicy(inner).bind(replica("selfish"))
+        state = policy.persistent_state()
+        assert state == inner.persistent_state()
+        policy.restore_state(state)  # delegates without raising
+
+
+class TestThroughSync:
+    def test_receive_only_node_takes_but_never_gives(self):
+        selfish = replica("selfish")
+        honest = replica("honest")
+        selfish.create_item("from-selfish", {"destination": "honest"})
+        honest.create_item("from-honest", {"destination": "selfish"})
+        stats = EncounterSession(
+            first=SyncEndpoint(selfish, free_rider("receive-only").bind(selfish)),
+            second=SyncEndpoint(honest, EpidemicPolicy().bind(honest)),
+        ).run()
+        sent_by_selfish, sent_by_honest = (
+            stats[0].sent_total,
+            stats[1].sent_total,
+        )
+        assert sent_by_selfish == 0
+        assert sent_by_honest == 1
+        assert selfish.in_filter_count == 1  # it still happily receives
+        assert honest.in_filter_count == 0
+
+    def test_budget_lie_serves_at_most_its_lie(self):
+        selfish = replica("selfish")
+        honest = replica("honest")
+        for i in range(5):
+            selfish.create_item(f"m{i}", {"destination": "honest"})
+        stats = SyncSession(
+            source=SyncEndpoint(
+                selfish, free_rider("budget-lie", budget=2).bind(selfish)
+            ),
+            target=SyncEndpoint(honest, EpidemicPolicy().bind(honest)),
+        ).run()
+        assert stats.sent_total == 2
+
+    def test_honest_wrapper_equivalence_needs_no_budget(self):
+        """budget-lie with a huge budget behaves like the honest policy."""
+        selfish = replica("selfish")
+        honest = replica("honest")
+        for i in range(3):
+            selfish.create_item(f"m{i}", {"destination": "honest"})
+        stats = SyncSession(
+            source=SyncEndpoint(
+                selfish, free_rider("budget-lie", budget=1000).bind(selfish)
+            ),
+            target=SyncEndpoint(honest, EpidemicPolicy().bind(honest)),
+        ).run()
+        assert stats.sent_total == 3

@@ -1,0 +1,133 @@
+"""Per-link fault RNG streams: config plumbing, stream isolation, and
+the shard-independence property that motivates them."""
+
+import pytest
+
+from repro.emulation.columnar import run_columnar, run_columnar_sharded
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.store import canonical_json
+from repro.faults import FaultConfig
+from repro.faults.injector import FaultInjector
+from repro.traces.dieselnet import MetroConfig, generate_metro_trace
+
+
+def injector(mode, seed=0):
+    return FaultInjector(
+        FaultConfig(truncation_probability=0.5, rng_streams=mode), seed=seed
+    )
+
+
+class TestConfig:
+    def test_default_is_shared(self):
+        assert FaultConfig().rng_streams == "shared"
+
+    def test_mode_is_validated(self):
+        with pytest.raises(ValueError, match="rng_streams"):
+            FaultConfig(rng_streams="per-node")
+
+    def test_shared_omitted_from_to_dict(self):
+        """Pre-existing artifacts (and their run ids) stay stable."""
+        assert "rng_streams" not in FaultConfig().to_dict()
+
+    def test_per_link_serializes_and_round_trips(self):
+        config = FaultConfig(
+            truncation_probability=0.2, rng_streams="per-link"
+        )
+        data = config.to_dict()
+        assert data["rng_streams"] == "per-link"
+        assert FaultConfig.from_dict(data) == config
+
+
+class TestStreamSelection:
+    def test_shared_mode_uses_the_global_stream(self):
+        shared = injector("shared")
+        assert shared.rng_for("a", "b") is shared.rng
+        assert shared.rng_for("c", "d") is shared.rng
+
+    def test_anonymous_decisions_use_the_global_stream(self):
+        per_link = injector("per-link")
+        assert per_link.rng_for() is per_link.rng
+
+    def test_per_link_streams_are_stable_and_symmetric(self):
+        per_link = injector("per-link")
+        assert per_link.rng_for("a", "b") is per_link.rng_for("b", "a")
+        assert per_link.rng_for("a", "b") is not per_link.rng
+
+    def test_distinct_links_get_distinct_streams(self):
+        per_link = injector("per-link")
+        assert per_link.rng_for("a", "b") is not per_link.rng_for("a", "c")
+
+    def test_link_draws_are_independent_of_visit_order(self):
+        """The property sharding needs: draws on one link are unaffected
+        by how many draws other links made first."""
+        lonely = injector("per-link")
+        lonely_draws = [lonely.rng_for("a", "b").random() for _ in range(4)]
+
+        busy = injector("per-link")
+        for _ in range(100):
+            busy.rng_for("c", "d").random()
+            busy.rng_for("e", "f").random()
+        busy_draws = [busy.rng_for("a", "b").random() for _ in range(4)]
+        assert busy_draws == lonely_draws
+
+    def test_seed_perturbs_every_stream(self):
+        first = injector("per-link", seed=1).rng_for("a", "b").random()
+        second = injector("per-link", seed=2).rng_for("a", "b").random()
+        assert first != second
+
+
+def _metro_trace():
+    return generate_metro_trace(
+        MetroConfig(
+            seed=9, n_buses=48, n_routes=4, days=3, interchange_rate=0.0
+        )
+    )
+
+
+def _config(rng_streams):
+    return ExperimentConfig(
+        policy="epidemic",
+        n_users=40,
+        target_messages=60,
+        faults=FaultConfig(
+            encounter_drop_probability=0.15, rng_streams=rng_streams
+        ),
+    )
+
+
+class TestShardedFaults:
+    def test_shared_mode_still_rejected_by_sharding(self):
+        from repro.emulation.columnar import ColumnarUnsupportedError
+
+        with pytest.raises(ColumnarUnsupportedError, match="per-link"):
+            run_columnar_sharded(
+                _config("shared"), trace=_metro_trace(), shards=2
+            )
+
+    def test_sharded_per_link_faults_match_unsharded(self):
+        """The payoff: transport faults no longer force one process."""
+        trace = _metro_trace()
+        config = _config("per-link")
+        unsharded, summary = run_columnar(config, trace=trace)
+        sharded, sharded_summary = run_columnar_sharded(
+            config, trace=trace, shards=2
+        )
+        assert unsharded.dropped_encounters > 0
+        assert sharded.to_dict() == unsharded.to_dict()
+        assert sharded_summary == summary
+
+
+class TestEmulatorDeterminism:
+    def test_per_link_runs_reproduce(self):
+        from repro.experiments.scenario import build_scenario
+
+        def run():
+            config = ExperimentConfig(scale=0.25).with_faults(
+                encounter_drop_probability=0.2, rng_streams="per-link"
+            )
+            scenario = build_scenario(config)
+            return scenario.emulator.run()
+
+        assert canonical_json(run().to_dict()) == canonical_json(
+            run().to_dict()
+        )

@@ -167,6 +167,37 @@ class TestDeprecationShims:
         with pytest.warns(DeprecationWarning, match="EncounterSession"):
             perform_encounter(SyncEndpoint(alice), SyncEndpoint(bob))
 
+    def test_warning_points_at_the_caller(self):
+        """stacklevel=2: the warning names this file, not sync.py, so a
+        downstream user sees *their* call site in the deprecation notice."""
+        alice, bob = replica("alice"), replica("bob")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            perform_sync(SyncEndpoint(bob), SyncEndpoint(alice))
+            perform_encounter(SyncEndpoint(alice), SyncEndpoint(bob))
+        assert len(caught) == 2
+        for warning in caught:
+            assert warning.filename == __file__
+
+    def test_shim_stats_equal_session_stats_field_for_field(self):
+        a1, b1 = replica("alice"), replica("bob")
+        a2, b2 = replica("alice"), replica("bob")
+        for source in (b1, b2):
+            source.create_item("x", {"destination": "alice"})
+            source.create_item("y", {"destination": "carol"})
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = perform_sync(
+                SyncEndpoint(b1), SyncEndpoint(a1), now=3.0, max_items=1
+            )
+        modern = SyncSession(
+            source=SyncEndpoint(b2),
+            target=SyncEndpoint(a2),
+            now=3.0,
+            config=SessionConfig(max_items=1),
+        ).run()
+        assert vars(legacy) == vars(modern)
+
 
 class TestSessionConfig:
     def test_keyword_only(self):
